@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables or figures.
+Because ``pytest --benchmark-only`` captures stdout, every experiment also
+appends its paper-style rows to ``benchmarks/results/<experiment>.txt`` so
+the regenerated tables survive in the repository after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(experiment: str, rows, headers, title: str | None = None) -> str:
+    """Format rows, print them, and persist them under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = format_table(rows, headers, title=title)
+    out = RESULTS_DIR / f"{experiment}.txt"
+    out.write_text(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,46 @@
+"""Shared workloads for the benchmark harness.
+
+Sizes are chosen so the whole harness finishes in minutes while still
+showing the asymptotic separations the paper describes (the naive O(n^2) /
+O(XYn) baselines are benchmarked at sizes where one run takes seconds, and
+the scaling tables extrapolate the slopes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import chicago_crime, hk_covid, network_accidents, nyc_taxi
+from repro.network import grid_network
+
+
+@pytest.fixture(scope="session")
+def crime():
+    """The common Table 1 workload: street-clustered crime events."""
+    return chicago_crime(2000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def crime_large():
+    return chicago_crime(20_000, seed=2)
+
+
+@pytest.fixture(scope="session")
+def covid():
+    return hk_covid(1500, 2500, seed=3)
+
+
+@pytest.fixture(scope="session")
+def taxi():
+    return nyc_taxi(10_000, seed=4)
+
+
+@pytest.fixture(scope="session")
+def bench_network():
+    return grid_network(15, 15, spacing=1.0)
+
+
+@pytest.fixture(scope="session")
+def bench_events(bench_network):
+    return network_accidents(bench_network, 300, seed=5)

@@ -1,0 +1,82 @@
+"""Ablation E: IDW accelerations vs the naive O(XYn) gather (§2.4).
+
+The paper quotes IDW's naive O(XYn) cost [20] and lists it among the tools
+needing complexity-reduced algorithms.  The kNN and cutoff backends
+restrict each pixel to a local neighbourhood; the ablation measures the
+separation and checks the surfaces stay close on a smooth field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import idw_grid
+
+from _util import record
+
+SIZE = (96, 96)
+ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module")
+def field(crime):
+    rng = np.random.default_rng(76)
+    vals = (
+        np.sin(crime.points[:, 0] * 0.4)
+        + 0.5 * np.cos(crime.points[:, 1] * 0.3)
+        + rng.normal(scale=0.05, size=crime.n)
+    )
+    return crime.points, vals, crime.bbox
+
+
+def test_idw_naive(benchmark, field):
+    pts, vals, bbox = field
+    grid = benchmark.pedantic(
+        idw_grid, args=(pts, vals, bbox, SIZE),
+        kwargs=dict(method="naive"),
+        rounds=1, iterations=1,
+    )
+    assert np.isfinite(grid.values).all()
+    ROWS.append(["naive", benchmark.stats.stats.mean, grid])
+
+
+def test_idw_knn(benchmark, field):
+    pts, vals, bbox = field
+    grid = benchmark.pedantic(
+        idw_grid, args=(pts, vals, bbox, SIZE),
+        kwargs=dict(method="knn", k=16),
+        rounds=1, iterations=1,
+    )
+    assert np.isfinite(grid.values).all()
+    ROWS.append(["knn (k=16)", benchmark.stats.stats.mean, grid])
+
+
+def test_idw_cutoff(benchmark, field):
+    pts, vals, bbox = field
+    grid = benchmark.pedantic(
+        idw_grid, args=(pts, vals, bbox, SIZE),
+        kwargs=dict(method="cutoff", radius=3.0),
+        rounds=1, iterations=1,
+    )
+    assert np.isfinite(grid.values).all()
+    ROWS.append(["cutoff (r=3)", benchmark.stats.stats.mean, grid])
+
+
+def test_zz_report(benchmark):
+    def report():
+        grids = {name: g for name, _, g in ROWS}
+        ref = grids["naive"]
+        rows = []
+        for name, t, g in ROWS:
+            dev = float(np.abs(g.values - ref.values).max())
+            rows.append([name, f"{t * 1e3:.0f} ms", f"{dev:.3f}"])
+        return record(
+            "ablation_idw",
+            rows,
+            headers=["method", "mean time", "max |dev| vs naive"],
+            title=f"Ablation E: IDW backends (n=2000, {SIZE[0]}x{SIZE[1]})",
+        )
+
+    text = benchmark.pedantic(report, rounds=1, iterations=1)
+    assert "naive" in text

@@ -1,0 +1,93 @@
+"""Ablation D: per-edge sharing for NKDV and the network K-function (§2.2/§2.3).
+
+The fast network algorithms the tutorial cites ([30] for NKDV, [33] for the
+network K-function) amortise shortest-path computation across co-located
+events.  Our `shared` backends run two Dijkstras per *edge hosting events*
+instead of per event; with events concentrated on hotspot edges (the
+realistic accident/crime shape) that collapses the Dijkstra count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import network_k_function
+from repro.core.nkdv import nkdv
+from repro.data import network_accidents
+
+from _util import record
+
+THRESHOLDS = np.linspace(0.5, 3.0, 6)
+ROWS: list[list] = []
+
+
+@pytest.fixture(scope="module")
+def hotspot_events(bench_network):
+    """300 events concentrated on 12 hotspot edges (high co-location)."""
+    rng = np.random.default_rng(74)
+    hot = rng.choice(bench_network.n_edges, size=12, replace=False)
+    return network_accidents(
+        bench_network, 300, hotspot_edges=hot, hotspot_fraction=0.9, seed=75
+    )
+
+
+@pytest.mark.parametrize("method", ["naive", "shared"])
+def test_nkdv_methods(benchmark, method, bench_network, hotspot_events):
+    result = benchmark.pedantic(
+        nkdv,
+        args=(bench_network, hotspot_events, 0.2, 1.5),
+        kwargs=dict(method=method),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.densities.max() > 0
+    ROWS.append([f"nkdv/{method}", benchmark.stats.stats.min])
+
+
+@pytest.mark.parametrize("method", ["naive", "shared"])
+def test_network_k_methods(benchmark, method, bench_network, hotspot_events):
+    counts = benchmark.pedantic(
+        network_k_function,
+        args=(bench_network, hotspot_events, THRESHOLDS),
+        kwargs=dict(method=method),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert (np.diff(counts) >= 0).all()
+    ROWS.append([f"network_k/{method}", benchmark.stats.stats.min])
+
+
+def test_zz_report(benchmark):
+    def report():
+        by_key = dict(ROWS)
+        # Sharing must win on co-located events (the paper's scenario).
+        # The network-K margin is large (~3x) and asserted strictly; the
+        # NKDV margin is modest (~1.3x, Dijkstra is not its bottleneck),
+        # so allow scheduler jitter on loaded single-core machines.
+        assert by_key["nkdv/shared"] < 1.15 * by_key["nkdv/naive"]
+        assert by_key["network_k/shared"] < by_key["network_k/naive"]
+        rows = [
+            [k, f"{t * 1e3:.1f} ms"]
+            for k, t in sorted(ROWS)
+        ]
+        rows.append(
+            ["nkdv speedup", f"{by_key['nkdv/naive'] / by_key['nkdv/shared']:.2f}x"]
+        )
+        rows.append(
+            [
+                "network_k speedup",
+                f"{by_key['network_k/naive'] / by_key['network_k/shared']:.2f}x",
+            ]
+        )
+        return record(
+            "ablation_network_sharing",
+            rows,
+            headers=["tool/method", "best time"],
+            title="Ablation D: per-edge Dijkstra sharing (300 events, 90% on 12 edges)",
+        )
+
+    text = benchmark.pedantic(report, rounds=1, iterations=1)
+    assert "speedup" in text

@@ -1,0 +1,81 @@
+"""Figure 2: the K-function plot with Monte-Carlo envelopes.
+
+Regenerates the paper's Figure 2 for three datasets — clustered, CSR and
+dispersed — and checks the figure's message: the clustered curve rises
+above the upper envelope U(s), CSR stays inside [L(s), U(s)], and the
+dispersed pattern falls below L(s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kfunction import k_function_plot
+from repro.data import csr, inhibited, thomas
+from repro.geometry import BoundingBox
+
+from _util import record
+
+BBOX = BoundingBox(0.0, 0.0, 20.0, 20.0)
+N = 500
+THRESHOLDS = np.linspace(0.25, 4.0, 16)
+SIMULATIONS = 99
+
+
+def _plot_for(points, seed):
+    return k_function_plot(
+        points, BBOX, THRESHOLDS, n_simulations=SIMULATIONS, seed=seed
+    )
+
+
+def test_fig2_clustered(benchmark):
+    pts = thomas(N, 4, 0.5, BBOX, seed=21)
+    plot = benchmark.pedantic(_plot_for, args=(pts, 22), rounds=1, iterations=1)
+    assert plot.clustered_mask().any(), "clustered data must exceed U(s)"
+    rows = [[f"{s:.2f}", k, lo, hi, regime] for s, k, lo, hi, regime in plot.rows()]
+    record(
+        "fig2_kfunction_clustered",
+        rows,
+        headers=["s", "K_P(s)", "L(s)", "U(s)", "regime"],
+        title=f"Figure 2 (clustered Thomas process, n={N}, L={SIMULATIONS})",
+    )
+    # Also render the figure itself, in the terminal medium we have.
+    from repro.bench import ascii_chart
+
+    from _util import RESULTS_DIR
+
+    chart = ascii_chart(
+        plot.thresholds,
+        {"K(s)": plot.observed, "L(s)": plot.lower, "U(s)": plot.upper},
+        title="Figure 2 (clustered): K above the envelope",
+    )
+    (RESULTS_DIR / "fig2_kfunction_clustered_chart.txt").write_text(chart + "\n")
+    print()
+    print(chart)
+
+
+def test_fig2_random(benchmark):
+    pts = csr(N, BBOX, seed=23)
+    plot = benchmark.pedantic(_plot_for, args=(pts, 24), rounds=1, iterations=1)
+    outside = plot.clustered_mask().sum() + plot.dispersed_mask().sum()
+    assert outside <= 2, "CSR data must (almost) stay inside the envelope"
+    rows = [[f"{s:.2f}", k, lo, hi, regime] for s, k, lo, hi, regime in plot.rows()]
+    record(
+        "fig2_kfunction_random",
+        rows,
+        headers=["s", "K_P(s)", "L(s)", "U(s)", "regime"],
+        title=f"Figure 2 (CSR, n={N}, L={SIMULATIONS})",
+    )
+
+
+def test_fig2_dispersed(benchmark):
+    pts = inhibited(N, 0.55, BBOX, seed=25)
+    plot = benchmark.pedantic(_plot_for, args=(pts, 26), rounds=1, iterations=1)
+    assert plot.dispersed_mask().any(), "inhibited data must fall below L(s)"
+    rows = [[f"{s:.2f}", k, lo, hi, regime] for s, k, lo, hi, regime in plot.rows()]
+    record(
+        "fig2_kfunction_dispersed",
+        rows,
+        headers=["s", "K_P(s)", "L(s)", "U(s)", "regime"],
+        title=f"Figure 2 (inhibited/dispersed, n={N}, L={SIMULATIONS})",
+    )

@@ -1,0 +1,78 @@
+"""Figure 6: the spatiotemporal K-function surface with envelope surfaces.
+
+Regenerates the paper's Figure 6: the ST-K surface of a space-time
+clustered dataset against the min/max surfaces of simulated space-time
+CSR.  The figure's message — the observed surface escapes the envelope in
+the small-(s, t) corner for clustered data and stays inside for CSR — is
+asserted, and the surfaces are dumped as a threshold-grid table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kfunction import st_k_function_plot
+from repro.data import csr
+
+from _util import record
+
+S_TS = np.linspace(0.5, 6.0, 8)
+T_TS = np.linspace(10.0, 80.0, 8)
+SIMULATIONS = 39
+
+
+def test_fig6_clustered_surface(benchmark, covid):
+    plot = benchmark.pedantic(
+        st_k_function_plot,
+        args=(covid.points, covid.times, covid.bbox, S_TS, T_TS),
+        kwargs=dict(n_simulations=SIMULATIONS, seed=61),
+        rounds=1,
+        iterations=1,
+    )
+    assert plot.fraction_clustered() > 0.3, "ST-clustered data must escape U"
+    # The small-(s, t) corner is where clustering is strongest.
+    assert plot.clustered_mask()[0, 0]
+
+    rows = []
+    for a, s in enumerate(S_TS):
+        for b, t in enumerate(T_TS[::2]):
+            b2 = 2 * b
+            rows.append(
+                [
+                    f"{s:.1f}", f"{t:.0f}",
+                    int(plot.observed[a, b2]),
+                    int(plot.lower[a, b2]),
+                    int(plot.upper[a, b2]),
+                    "clustered" if plot.clustered_mask()[a, b2] else "inside",
+                ]
+            )
+    record(
+        "fig6_st_kfunction_clustered",
+        rows,
+        headers=["s", "t", "K(s,t)", "L(s,t)", "U(s,t)", "regime"],
+        title=(
+            "Figure 6: ST K-function surface vs envelopes "
+            f"(HK COVID stand-in, L={SIMULATIONS})"
+        ),
+    )
+
+
+def test_fig6_csr_inside(benchmark, covid):
+    rng = np.random.default_rng(62)
+    pts = csr(covid.n, covid.bbox, seed=63)
+    times = rng.uniform(0.0, 200.0, size=covid.n)
+    plot = benchmark.pedantic(
+        st_k_function_plot,
+        args=(pts, times, covid.bbox, S_TS, T_TS),
+        kwargs=dict(n_simulations=SIMULATIONS, seed=64),
+        rounds=1,
+        iterations=1,
+    )
+    outside = plot.clustered_mask().sum() + plot.dispersed_mask().sum()
+    assert outside <= 3, "space-time CSR must (almost) stay inside"
+    record(
+        "fig6_st_kfunction_csr",
+        [["cells outside the envelope", int(outside), f"of {plot.observed.size}"]],
+        headers=["quantity", "count", "note"],
+        title="Figure 6 (control): ST CSR surface stays inside the envelopes",
+    )

@@ -1,0 +1,82 @@
+"""Air-quality interpolation: IDW vs kriging with a fitted variogram.
+
+The tutorial lists IDW and kriging as the interpolation-style hotspot
+tools (Table 1), used e.g. for environmental exposure surfaces [87].
+This example simulates a sensor network measuring a smooth pollution
+field, interpolates it with both tools, and compares accuracy on held-out
+sensors — including the kriging variance, the feature IDW lacks.
+
+Usage::
+
+    python examples/air_quality_interpolation.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core.interpolation import empirical_variogram, fit_variogram
+
+OUT_DIR = Path(__file__).parent / "output"
+
+
+def pollution_field(xs, ys):
+    """Ground truth: two emission plumes over a decaying background."""
+    plume1 = 80.0 * np.exp(-(((xs - 6.0) ** 2) + (ys - 7.0) ** 2) / 6.0)
+    plume2 = 50.0 * np.exp(-(((xs - 15.0) ** 2) + (ys - 3.0) ** 2) / 3.0)
+    background = 20.0 + 0.5 * xs
+    return plume1 + plume2 + background
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    bbox = repro.BoundingBox(0.0, 0.0, 20.0, 10.0)
+
+    # 160 training sensors + 60 held-out validation sensors, noisy readings.
+    train = bbox.sample_uniform(160, rng)
+    test = bbox.sample_uniform(60, rng)
+    z_train = pollution_field(train[:, 0], train[:, 1]) + rng.normal(0, 1.0, 160)
+    z_test = pollution_field(test[:, 0], test[:, 1])
+
+    print(f"sensors: {len(train)} train / {len(test)} held out")
+
+    # --- variogram fit -----------------------------------------------------
+    lags, gamma, counts = empirical_variogram(train, z_train, n_bins=14)
+    model = fit_variogram(lags, gamma, model="spherical", counts=counts)
+    print(f"\nfitted variogram: {model.model}, nugget={model.nugget:.1f}, "
+          f"sill={model.sill:.1f}, range={model.range_:.2f}")
+
+    # --- interpolate held-out sensors --------------------------------------
+    idw_pred = repro.idw_predict(train, z_train, test, method="knn", k=12)
+    krig = repro.ordinary_kriging(train, z_train, test, model, k_neighbors=16)
+
+    def rmse(pred):
+        return float(np.sqrt(((pred - z_test) ** 2).mean()))
+
+    print(f"\nheld-out RMSE:  IDW = {rmse(idw_pred):.2f}   "
+          f"kriging = {rmse(krig.predictions):.2f}")
+    print(f"kriging variance range: [{krig.variances.min():.2f}, "
+          f"{krig.variances.max():.2f}] (uncertainty map, IDW has none)")
+
+    # --- full surfaces ------------------------------------------------------
+    OUT_DIR.mkdir(exist_ok=True)
+    idw_surface = repro.idw_grid(train, z_train, bbox, (120, 60), method="knn", k=12)
+    pred, var, _ = repro.kriging_grid(
+        train, z_train, bbox, (120, 60), model=model, k_neighbors=16
+    )
+    repro.write_ppm(OUT_DIR / "air_idw.ppm", idw_surface, "viridis")
+    repro.write_ppm(OUT_DIR / "air_kriging.ppm", pred, "viridis")
+    repro.write_ppm(OUT_DIR / "air_kriging_variance.ppm", var, "gray")
+    print(f"\nsurfaces written to {OUT_DIR}/air_*.ppm")
+
+    # Sanity: both surfaces find the main plume.
+    for name, surface in [("IDW", idw_surface), ("kriging", pred)]:
+        x, y = surface.argmax_coords()
+        print(f"{name} peak at ({x:.1f}, {y:.1f}) — true plume at (6.0, 7.0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Disease mapping: areal rates, smoothing, and cluster statistics.
+
+Epidemiological practice (the paper's §1 audience) works with *areal*
+data — counts per district over populations — rather than raw points.
+This example aggregates the COVID stand-in onto a district lattice and
+runs the classical disease-mapping stack:
+
+1. raw incidence rates and their small-numbers instability,
+2. empirical Bayes smoothing (global and spatial),
+3. Moran's I / Geary's C on the smoothed rates,
+4. local Gi* hot/cold districts with FDR-controlled significance.
+
+Usage::
+
+    python examples/disease_mapping.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+NX, NY = 10, 6  # district lattice
+
+
+def aggregate(data):
+    """Counts per district plus a synthetic population surface."""
+    counts = np.zeros((NX, NY))
+    ix = np.clip(
+        ((data.points[:, 0] - data.bbox.xmin) / data.bbox.width * NX).astype(int),
+        0, NX - 1,
+    )
+    iy = np.clip(
+        ((data.points[:, 1] - data.bbox.ymin) / data.bbox.height * NY).astype(int),
+        0, NY - 1,
+    )
+    np.add.at(counts, (ix, iy), 1)
+
+    # Population density: high in the urban core, low on the fringes.
+    xs, ys = data.bbox.pixel_centers(NX, NY)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    population = 2000.0 + 20000.0 * np.exp(
+        -((gx - 20.0) ** 2 + (gy - 15.0) ** 2) / 150.0
+    )
+    return counts.ravel(), population.ravel()
+
+
+def main() -> None:
+    data = repro.data.hk_covid(1200, 1800, seed=21).spatial()
+    counts, population = aggregate(data)
+    print(f"{data.n} cases over a {NX}x{NY} district lattice "
+          f"(population {population.sum():,.0f})")
+
+    raw = counts / population
+    eb = repro.empirical_bayes(counts, population)
+    weights = repro.lattice_weights(NX, NY, "queen")
+    seb = repro.spatial_empirical_bayes(counts, population, weights)
+
+    print("\nper-district incidence rates (cases per 1000):")
+    print(f"  raw:      mean={1e3 * raw.mean():.2f}  sd={1e3 * raw.std():.2f}")
+    print(f"  EB:       mean={1e3 * eb.mean():.2f}  sd={1e3 * eb.std():.2f}")
+    print(f"  spatial EB: mean={1e3 * seb.mean():.2f}  sd={1e3 * seb.std():.2f}")
+    print("  -> shrinkage stabilises the noisy low-population districts")
+
+    moran = repro.morans_i(seb, weights, permutations=199, seed=22)
+    geary = repro.gearys_c(seb, weights)
+    print(f"\nMoran's I = {moran.statistic:.3f} (z = {moran.z_score:.1f}, "
+          f"permutation p = {moran.p_permutation})")
+    print(f"Geary's C = {geary.statistic:.3f} (z = {geary.z_score:.1f})")
+
+    # Local hot/cold districts with multiple-testing control.
+    gx, gy = np.meshgrid(*data.bbox.pixel_centers(NX, NY), indexing="ij")
+    centers = np.column_stack([gx.ravel(), gy.ravel()])
+    band = repro.distance_band_weights(centers, 7.0)
+    gi = repro.local_gi_star(seb, band)
+    from math import erfc, sqrt
+
+    p = np.array([erfc(abs(z) / sqrt(2.0)) for z in gi])
+    keep = repro.fdr_mask(p, alpha=0.05)
+    hot = keep & (gi > 0)
+    cold = keep & (gi < 0)
+    print(f"\nGi* hot districts (FDR 5%): {int(hot.sum())}, "
+          f"cold districts: {int(cold.sum())}")
+    for idx in np.flatnonzero(hot)[:5]:
+        print(f"  hot district at ({centers[idx, 0]:.1f}, {centers[idx, 1]:.1f}) "
+              f"rate={1e3 * seb[idx]:.2f}/1000  z={gi[idx]:.1f}")
+
+
+if __name__ == "__main__":
+    main()

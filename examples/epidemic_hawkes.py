@@ -1,0 +1,84 @@
+"""Epidemic contagion analysis: Hawkes data, interaction tests, live maps.
+
+The paper's intro cites self-exciting spatio-temporal point processes [82]
+as the model behind contagion analyses (crime waves, disease spread).
+This example:
+
+1. simulates an epidemic with the spatiotemporal Hawkes generator,
+2. confirms space-time *interaction* with the permutation-null
+   spatiotemporal K-function (shuffled timestamps destroy the clustering
+   only if the clustering is genuinely spatio-temporal),
+3. drives a **streaming dashboard**: a sliding 10-day KDV window maintained
+   incrementally with `KDVAccumulator`, printing the moving hotspot.
+
+Usage::
+
+    python examples/epidemic_hawkes.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.kdv import KDVAccumulator
+from repro.data import hawkes_st
+
+
+def simulate():
+    bbox = repro.BoundingBox(0.0, 0.0, 20.0, 20.0)
+    pts, times = hawkes_st(
+        bbox, horizon=100.0, mu=0.008, alpha=0.75, beta=0.4, sigma=0.6, seed=3
+    )
+    print(f"simulated epidemic: {pts.shape[0]} cases over 100 days "
+          f"(branching ratio 0.75 -> ~4 cases per imported case)")
+    return bbox, pts, times
+
+
+def interaction_test(bbox, pts, times):
+    print("\n== space-time interaction (permutation null) ==")
+    plot = repro.st_k_function_plot(
+        pts, times, bbox,
+        s_thresholds=[0.5, 1.0, 2.0],
+        t_thresholds=[2.0, 5.0, 10.0],
+        n_simulations=19,
+        null="permute",
+        seed=4,
+    )
+    frac = plot.fraction_clustered()
+    print(f"  cells above the permutation envelope: {frac:.0%}")
+    print("  -> cases cluster in space *and* time jointly: contagion, "
+          "not just risky places")
+
+
+def streaming_dashboard(bbox, pts, times):
+    print("\n== streaming 10-day hotspot dashboard ==")
+    acc = KDVAccumulator(bbox, (64, 64), bandwidth=1.2, kernel="quartic")
+    window = 10.0
+    order = np.argsort(times)
+    pts, times = pts[order], times[order]
+    lo = 0
+    hi = 0
+    for day in np.arange(10.0, 101.0, 15.0):
+        new_hi = int(np.searchsorted(times, day, side="right"))
+        new_lo = int(np.searchsorted(times, day - window, side="left"))
+        acc.add(pts[hi:new_hi])
+        acc.remove(pts[lo:new_lo])
+        lo, hi = new_lo, new_hi
+        grid = acc.grid()
+        if acc.n_points == 0:
+            print(f"  day {day:5.0f}: no active cases")
+            continue
+        x, y = grid.argmax_coords()
+        print(f"  day {day:5.0f}: {acc.n_points:4d} active cases, "
+              f"hotspot at ({x:5.1f}, {y:5.1f}), peak {grid.max:7.2f}")
+
+
+def main() -> None:
+    bbox, pts, times = simulate()
+    interaction_test(bbox, pts, times)
+    streaming_dashboard(bbox, pts, times)
+
+
+if __name__ == "__main__":
+    main()

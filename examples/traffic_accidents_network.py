@@ -1,0 +1,92 @@
+"""Traffic accidents on a road network: NKDV + network K-function.
+
+The tutorial's §2.2/§2.3 motivation: accidents happen *on roads*, so
+planar (Euclidean) analysis overestimates density across network gaps
+(Figure 3).  This example:
+
+1. builds a city-style grid road network with accident-prone corridors,
+2. computes NKDV (per-lixel densities under shortest-path distance) and
+   contrasts it with planar KDV at a gap position,
+3. runs the network K-function with a uniform-on-network envelope to show
+   the accidents cluster significantly along the network.
+
+Usage::
+
+    python examples/traffic_accidents_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.nkdv import nkdv
+from repro.data import network_accidents
+from repro.network import grid_network, two_corridor_network
+
+
+def corridor_comparison() -> None:
+    print("== Figure 3 gadget: Euclidean vs network density ==")
+    net = two_corridor_network(length=10.0, gap=0.5, segments=20)
+    events = [repro.network.NetworkPosition(0, 0.05 * i) for i in range(10)]
+    result = nkdv(net, events, 0.1, 2.0)
+
+    q1 = net.snap_points([[0.3, 0.0]])[0]
+    q2 = net.snap_points([[0.3, 0.5]])[0]
+    coords = np.array([net.position_coords(e) for e in events])
+    bbox = repro.BoundingBox(-0.5, -0.5, 10.5, 1.0)
+    planar = repro.kde_grid(coords, bbox, (220, 30), 2.0)
+
+    print(f"  q1 (same corridor):  euclidean={planar.value_at(0.3, 0.0):7.3f}  "
+          f"network={result.density_at(q1):7.3f}")
+    print(f"  q2 (across gap):     euclidean={planar.value_at(0.3, 0.5):7.3f}  "
+          f"network={result.density_at(q2):7.3f}")
+    print("  -> planar KDV wrongly assigns q2 nearly q1's density;"
+          " NKDV assigns it ~0\n")
+
+
+def city_analysis() -> None:
+    print("== city grid: accident hotspot corridors ==")
+    net = grid_network(12, 12, spacing=1.0)
+    rng = np.random.default_rng(5)
+    corridors = rng.choice(net.n_edges, size=8, replace=False)
+    events = network_accidents(
+        net, 400, hotspot_edges=corridors, hotspot_fraction=0.85, seed=6
+    )
+
+    result = nkdv(net, events, 0.2, 1.2, method="shared")
+    dens = result.densities
+    hottest = result.hottest_lixel()
+    hot_edge = int(result.lixels.lixel_edge[hottest])
+    print(f"  network: {net.n_nodes} nodes, {net.n_edges} edges, "
+          f"{result.n_lixels} lixels")
+    print(f"  hottest lixel sits on edge {hot_edge} "
+          f"(true corridor: {hot_edge in set(corridors.tolist())})")
+    top_edges = {
+        int(result.lixels.lixel_edge[i])
+        for i in np.argsort(dens)[-20:]
+    }
+    recovered = len(top_edges & set(corridors.tolist()))
+    print(f"  {recovered}/{len(top_edges)} of the top-density edges are "
+          "true accident corridors")
+
+    print("\n== network K-function with envelope ==")
+    thresholds = np.linspace(0.25, 3.0, 8)
+    plot = repro.network_k_function_plot(
+        net, events, thresholds, n_simulations=19, seed=7
+    )
+    for s, obs, lo, hi, regime in zip(
+        thresholds, plot.observed, plot.lower, plot.upper, plot.classify()
+    ):
+        print(f"  s={s:4.2f}  K={obs:9.0f}  envelope=[{lo:8.0f}, {hi:8.0f}]  {regime}")
+    assert plot.clustered_mask().any()
+    print("  -> accidents cluster significantly along the network")
+
+
+def main() -> None:
+    corridor_comparison()
+    city_analysis()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Benchmark harness utilities: timers and paper-style table printing."""
+
+from .charts import ascii_chart
+from .tables import format_table, print_table
+from .timing import Timer, measure
+
+__all__ = ["Timer", "ascii_chart", "format_table", "measure", "print_table"]

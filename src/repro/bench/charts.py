@@ -1,0 +1,104 @@
+"""Terminal line charts for curve outputs (K-function plots and friends).
+
+The CLI and examples run where no plotting stack exists, so curves are
+rendered as character rasters: each series is sampled onto a text grid
+with a distinct glyph, axes carry min/max labels, and overlapping series
+show the later glyph.  Deliberately simple — these charts accompany the
+numeric tables, they do not replace them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError, ParameterError
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs,
+    series: dict[str, np.ndarray],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render named y-series over shared x-values as a text chart.
+
+    Parameters
+    ----------
+    xs:
+        Shared, increasing x-coordinates.
+    series:
+        Mapping of label -> y-values (all the same length as ``xs``).
+        NaNs are skipped.
+    width, height:
+        Character raster size (excluding axis labels).
+    title:
+        Optional heading line.
+    """
+    xs = np.asarray(xs, dtype=np.float64).ravel()
+    if xs.size < 2:
+        raise DataError("a chart needs at least two x-values")
+    if np.any(np.diff(xs) < 0):
+        raise DataError("x-values must be non-decreasing")
+    if not series:
+        raise DataError("series must not be empty")
+    if len(series) > len(_GLYPHS):
+        raise ParameterError(f"at most {len(_GLYPHS)} series supported")
+    width = int(width)
+    height = int(height)
+    if width < 8 or height < 4:
+        raise ParameterError("chart needs width >= 8 and height >= 4")
+
+    arrays = {}
+    for name, ys in series.items():
+        ys = np.asarray(ys, dtype=np.float64).ravel()
+        if ys.shape != xs.shape:
+            raise DataError(f"series {name!r} length mismatch")
+        arrays[name] = ys
+
+    stacked = np.concatenate([ys[np.isfinite(ys)] for ys in arrays.values()])
+    if stacked.size == 0:
+        raise DataError("all series are NaN")
+    y_lo, y_hi = float(stacked.min()), float(stacked.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs[0]), float(xs[-1])
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(_GLYPHS, arrays.items()):
+        for x, y in zip(xs, ys):
+            if not np.isfinite(y):
+                continue
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            canvas[height - 1 - row][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_hi = f"{y_hi:.4g}"
+    label_lo = f"{y_lo:.4g}"
+    pad = max(len(label_hi), len(label_lo))
+    for r, row in enumerate(canvas):
+        if r == 0:
+            prefix = label_hi.rjust(pad)
+        elif r == height - 1:
+            prefix = label_lo.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:<.4g}" + " " * max(width - 16, 1) + f"{x_hi:>.4g}"
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, arrays)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

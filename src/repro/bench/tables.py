@@ -1,0 +1,49 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the paper's tables and figure series as
+aligned text so the "rows the paper reports" are visible in the pytest
+output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["format_table", "print_table"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Sequence], headers: Sequence[str], title: str | None = None) -> str:
+    """Align rows under headers; floats get 4 significant digits."""
+    headers = [str(h) for h in headers]
+    body = [[_render_cell(c) for c in row] for row in rows]
+    for i, row in enumerate(body):
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in body)) if body else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Sequence], headers: Sequence[str], title: str | None = None) -> None:
+    """Print a formatted table with a leading blank line (pytest-friendly)."""
+    print()
+    print(format_table(rows, headers, title=title))

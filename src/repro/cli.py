@@ -1,0 +1,246 @@
+"""Command-line interface: the library's tools on flat CSV files.
+
+The deployed systems the paper describes (KDV-Explorer, the COVID hotspot
+maps) are thin front-ends over exactly these operations, so the CLI covers
+the same workflow on files:
+
+    python -m repro generate covid --n 4000 --out events.csv
+    python -m repro kdv events.csv --bandwidth 2.0 --out heatmap.ppm --ascii
+    python -m repro kfunction events.csv --simulations 99
+    python -m repro hotspots events.csv --out hotspots.ppm
+    python -m repro stkdv events.csv --frames 4 --out-prefix frame
+
+Input CSVs carry ``x,y`` or ``x,y,t`` columns (header optional), the
+format of :mod:`repro.data.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import data as data_mod
+from .core.kdv import kde_grid
+from .core.kfunction import k_function_plot
+from .core.pipeline import HotspotAnalysis
+from .core.stkdv import stkdv
+from .data import SpatioTemporalDataset, read_dataset_csv, write_csv
+from .errors import ReproError
+from .raster import ascii_render, write_ppm
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_size(text: str) -> tuple[int, int]:
+    try:
+        w, h = text.lower().split("x")
+        return int(w), int(h)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"size must look like 256x192, got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Large-scale geospatial analytics on CSV point files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset CSV")
+    gen.add_argument("dataset", choices=["covid", "crime", "taxi"])
+    gen.add_argument("--n", type=int, default=4000, help="number of events")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output CSV path")
+
+    kdv = sub.add_parser("kdv", help="render a KDV heatmap from a CSV")
+    kdv.add_argument("input", help="CSV of x,y[,t] events")
+    kdv.add_argument("--bandwidth", type=float, required=True)
+    kdv.add_argument("--kernel", default="quartic")
+    kdv.add_argument("--method", default="auto")
+    kdv.add_argument("--size", type=_parse_size, default=(256, 192))
+    kdv.add_argument("--colormap", default="heat")
+    kdv.add_argument("--out", help="output PPM path")
+    kdv.add_argument("--ascii", action="store_true", help="print a terminal preview")
+
+    kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes")
+    kfn.add_argument("input")
+    kfn.add_argument("--thresholds", type=int, default=12, help="threshold count")
+    kfn.add_argument("--max-threshold", type=float, default=None)
+    kfn.add_argument("--simulations", type=int, default=99)
+    kfn.add_argument("--seed", type=int, default=0)
+    kfn.add_argument(
+        "--chart", action="store_true", help="draw the K/L/U curves as text"
+    )
+
+    hot = sub.add_parser("hotspots", help="end-to-end hotspot analysis")
+    hot.add_argument("input")
+    hot.add_argument("--size", type=_parse_size, default=(192, 128))
+    hot.add_argument("--simulations", type=int, default=39)
+    hot.add_argument("--quantile", type=float, default=0.95)
+    hot.add_argument("--seed", type=int, default=0)
+    hot.add_argument("--out", help="output PPM path")
+
+    screen = sub.add_parser(
+        "csrtest", help="cheap CSR screens: quadrat chi-square + Clark-Evans"
+    )
+    screen.add_argument("input")
+    screen.add_argument("--quadrats", type=_parse_size, default=(5, 5))
+
+    st = sub.add_parser("stkdv", help="spatiotemporal KDV frames (needs x,y,t)")
+    st.add_argument("input")
+    st.add_argument("--frames", type=int, default=6)
+    st.add_argument("--bandwidth-space", type=float, required=True)
+    st.add_argument("--bandwidth-time", type=float, required=True)
+    st.add_argument("--size", type=_parse_size, default=(128, 96))
+    st.add_argument("--out-prefix", default="stkdv_frame")
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset == "covid":
+        ds = data_mod.hk_covid(
+            n_wave1=args.n // 3, n_wave2=args.n - args.n // 3, seed=args.seed
+        )
+        write_csv(args.out, ds.points, times=ds.times)
+    elif args.dataset == "crime":
+        ds = data_mod.chicago_crime(args.n, seed=args.seed)
+        write_csv(args.out, ds.points)
+    else:
+        ds = data_mod.nyc_taxi(args.n, seed=args.seed)
+        write_csv(args.out, ds.points, times=ds.times)
+    print(f"wrote {ds.n} events to {args.out}")
+    return 0
+
+
+def _cmd_kdv(args) -> int:
+    ds = read_dataset_csv(args.input, margin=0.0)
+    grid = kde_grid(
+        ds.points, ds.bbox, args.size, args.bandwidth,
+        kernel=args.kernel, method=args.method,
+    )
+    print(
+        f"KDV over {ds.points.shape[0]} events, grid {args.size[0]}x{args.size[1]}, "
+        f"kernel={args.kernel}, b={args.bandwidth:g}; peak density {grid.max:.4g} "
+        f"at ({grid.argmax_coords()[0]:.3g}, {grid.argmax_coords()[1]:.3g})"
+    )
+    if args.out:
+        write_ppm(args.out, grid, args.colormap)
+        print(f"heatmap written to {args.out}")
+    if args.ascii or not args.out:
+        print(ascii_render(grid, width=72))
+    return 0
+
+
+def _cmd_kfunction(args) -> int:
+    ds = read_dataset_csv(args.input)
+    top = args.max_threshold
+    if top is None:
+        top = 0.25 * ds.bbox.diagonal
+    thresholds = np.linspace(top / args.thresholds, top, args.thresholds)
+    plot = k_function_plot(
+        ds.points, ds.bbox, thresholds,
+        n_simulations=args.simulations, seed=args.seed,
+    )
+    print(f"{'s':>10} {'K(s)':>12} {'L(s)':>12} {'U(s)':>12}  regime")
+    for s, k, lo, hi, regime in plot.rows():
+        print(f"{s:>10.4g} {k:>12.0f} {lo:>12.0f} {hi:>12.0f}  {regime}")
+    clustered = plot.clustered_thresholds()
+    if clustered.size:
+        print(f"\nsignificant clustering at {clustered.size} thresholds; "
+              f"suggested KDV bandwidth: {np.median(clustered):.4g}")
+    else:
+        print("\nno significant clustering detected")
+    if args.chart:
+        from .bench import ascii_chart
+
+        print()
+        print(
+            ascii_chart(
+                plot.thresholds,
+                {"K(s)": plot.observed, "L(s)": plot.lower, "U(s)": plot.upper},
+                title="K-function plot (Figure 2 style)",
+            )
+        )
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    ds = read_dataset_csv(args.input)
+    report = HotspotAnalysis(ds.points, ds.bbox).run(
+        size=args.size,
+        n_simulations=args.simulations,
+        quantile=args.quantile,
+        seed=args.seed,
+    )
+    print(report.summary())
+    if args.out:
+        write_ppm(args.out, report.density, "heat")
+        print(f"hotspot map written to {args.out}")
+    return 0
+
+
+def _cmd_csrtest(args) -> int:
+    from .core.csr_tests import clark_evans, quadrat_test
+
+    ds = read_dataset_csv(args.input)
+    quadrat = quadrat_test(ds.points, ds.bbox, args.quadrats[0], args.quadrats[1])
+    ce = clark_evans(ds.points, ds.bbox)
+    print(
+        f"quadrat test ({args.quadrats[0]}x{args.quadrats[1]}): "
+        f"chi2={quadrat.statistic:.1f} df={quadrat.df} p={quadrat.p_value:.4g} "
+        f"-> {'CSR not rejected' if quadrat.is_csr else 'CSR rejected'}"
+    )
+    print(
+        f"Clark-Evans: R={ce.index:.3f} z={ce.z_score:.2f} "
+        f"p={ce.p_value:.4g} -> {ce.pattern}"
+    )
+    return 0
+
+
+def _cmd_stkdv(args) -> int:
+    ds = read_dataset_csv(args.input)
+    if not isinstance(ds, SpatioTemporalDataset):
+        print("error: stkdv needs a 3-column (x,y,t) CSV", file=sys.stderr)
+        return 2
+    t_lo, t_hi = ds.time_range
+    frames = np.linspace(t_lo, t_hi, args.frames)
+    result = stkdv(
+        ds.points, ds.times, ds.bbox, args.size, frames,
+        args.bandwidth_space, args.bandwidth_time,
+    )
+    track = result.hotspot_track()
+    for j, (t, (x, y)) in enumerate(zip(frames, track)):
+        path = Path(f"{args.out_prefix}_{j:03d}.ppm")
+        write_ppm(path, result.frame(j), "heat")
+        print(f"frame {j}: t={t:.4g}, hotspot peak at ({x:.3g}, {y:.3g}) -> {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "kdv": _cmd_kdv,
+    "kfunction": _cmd_kfunction,
+    "hotspots": _cmd_hotspots,
+    "csrtest": _cmd_csrtest,
+    "stkdv": _cmd_stkdv,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

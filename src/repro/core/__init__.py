@@ -1,0 +1,49 @@
+"""Core analytics: every tool of the paper's Table 1 plus the §2.2/§2.3 variants.
+
+Subpackages / modules:
+
+* :mod:`repro.core.kernels` — Table 2 kernels and extensions
+* :mod:`repro.core.kdv` — kernel density visualisation (4 method families)
+* :mod:`repro.core.nkdv` — network KDV
+* :mod:`repro.core.stkdv` — spatiotemporal KDV
+* :mod:`repro.core.kfunction` — K-function, network K, spatiotemporal K
+* :mod:`repro.core.interpolation` — IDW and kriging
+* :mod:`repro.core.autocorrelation` — Moran's I and Getis-Ord
+* :mod:`repro.core.clustering` — DBSCAN and hotspot extraction
+* :mod:`repro.core.pipeline` — the end-to-end hotspot workflow
+"""
+
+from . import autocorrelation, clustering, csr_tests, interpolation, kdv, kfunction
+from .csr_tests import ClarkEvansResult, QuadratTestResult, clark_evans, quadrat_test
+from .kernels import KERNELS, Kernel, get_kernel
+from .nkdv import NKDVResult, nkdv
+from .pipeline import HotspotAnalysis, HotspotReport
+from .rates import empirical_bayes, spatial_empirical_bayes
+from .stkdv import STKDVResult, stkdv
+from .stnkdv import STNKDVResult, stnkdv
+
+__all__ = [
+    "ClarkEvansResult",
+    "HotspotAnalysis",
+    "QuadratTestResult",
+    "clark_evans",
+    "quadrat_test",
+    "empirical_bayes",
+    "spatial_empirical_bayes",
+    "csr_tests",
+    "HotspotReport",
+    "KERNELS",
+    "Kernel",
+    "NKDVResult",
+    "STKDVResult",
+    "STNKDVResult",
+    "autocorrelation",
+    "clustering",
+    "get_kernel",
+    "interpolation",
+    "kdv",
+    "kfunction",
+    "nkdv",
+    "stkdv",
+    "stnkdv",
+]

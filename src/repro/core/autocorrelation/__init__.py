@@ -1,0 +1,30 @@
+"""Correlation-analysis tools of Table 1: Moran's I and Getis-Ord."""
+
+from .fdr import fdr_mask, fdr_threshold
+from .geary import GearyCResult, gearys_c
+from .getis import GeneralGResult, general_g, local_gi_star
+from .moran import LocalMoranResult, MoranResult, local_morans_i, morans_i
+from .weights import (
+    SpatialWeights,
+    distance_band_weights,
+    knn_weights,
+    lattice_weights,
+)
+
+__all__ = [
+    "GearyCResult",
+    "GeneralGResult",
+    "gearys_c",
+    "LocalMoranResult",
+    "MoranResult",
+    "SpatialWeights",
+    "distance_band_weights",
+    "fdr_mask",
+    "fdr_threshold",
+    "general_g",
+    "knn_weights",
+    "lattice_weights",
+    "local_gi_star",
+    "local_morans_i",
+    "morans_i",
+]

@@ -1,0 +1,188 @@
+"""Moran's I — Table 1's global spatial autocorrelation statistic.
+
+Global Moran's I over values ``z`` and weights ``W``:
+
+    I = (n / S0) * (z_c^T W z_c) / (z_c^T z_c),       z_c = z - mean(z).
+
+Inference is provided two ways, matching standard GIS practice:
+
+* the analytic z-score under the *normality* assumption (Cliff & Ord
+  moments, using the S0/S1/S2 sums of the weight matrix), and
+* a permutation test (values shuffled over locations), which is the
+  distribution-free default of modern packages.
+
+Local Moran (LISA, Anselin 1995) decomposes I into per-location
+contributions with permutation-based pseudo p-values, giving the
+High-High / Low-Low / High-Low / Low-High cluster typology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..._validation import as_values, resolve_rng
+from ...errors import DataError, ParameterError
+from .weights import SpatialWeights
+
+__all__ = ["MoranResult", "morans_i", "LocalMoranResult", "local_morans_i"]
+
+
+def _normal_sf(z: np.ndarray) -> np.ndarray:
+    """Standard normal survival function via erfc (no SciPy dependency)."""
+    from math import erfc
+
+    z = np.asarray(z, dtype=np.float64)
+    flat = z.ravel()
+    out = np.array([0.5 * erfc(v / np.sqrt(2.0)) for v in flat])
+    return out.reshape(z.shape)
+
+
+@dataclass(frozen=True)
+class MoranResult:
+    """Global Moran's I with analytic and permutation inference."""
+
+    statistic: float
+    expected: float
+    variance: float
+    z_score: float
+    p_value: float  # two-sided, normality assumption
+    p_permutation: float | None  # one-sided pseudo p-value (if permutations ran)
+    n_permutations: int
+
+    @property
+    def is_clustered(self) -> bool:
+        """Positive autocorrelation at the 5% level (analytic test)."""
+        return self.statistic > self.expected and self.p_value < 0.05
+
+
+def morans_i(
+    values,
+    weights: SpatialWeights,
+    permutations: int = 0,
+    seed=None,
+) -> MoranResult:
+    """Global Moran's I with optional permutation inference."""
+    n = weights.n
+    z = as_values(values, n)
+    zc = z - z.mean()
+    denom = float(zc @ zc)
+    if denom == 0.0:
+        raise DataError("values are constant; Moran's I is undefined")
+    s0 = weights.s0()
+    if s0 <= 0.0:
+        raise DataError("weight matrix has no links")
+
+    def stat(vec_c: np.ndarray) -> float:
+        return (n / s0) * float(vec_c @ weights.lag(vec_c)) / float(vec_c @ vec_c)
+
+    observed = stat(zc)
+    expected = -1.0 / (n - 1)
+
+    # Cliff-Ord variance under normality.
+    s1 = weights.s1()
+    s2 = weights.s2()
+    var = (
+        (n * n * s1 - n * s2 + 3.0 * s0 * s0)
+        / ((n * n - 1.0) * s0 * s0)
+        - expected * expected
+    )
+    if var <= 0.0:
+        raise DataError("degenerate weight structure: non-positive Moran variance")
+    z_score = (observed - expected) / np.sqrt(var)
+    p_value = 2.0 * float(_normal_sf(abs(z_score)))
+
+    p_perm = None
+    permutations = int(permutations)
+    if permutations > 0:
+        rng = resolve_rng(seed)
+        extreme = 0
+        for _ in range(permutations):
+            perm = rng.permutation(z)
+            if stat(perm - perm.mean()) >= observed:
+                extreme += 1
+        p_perm = (extreme + 1) / (permutations + 1)
+
+    return MoranResult(
+        statistic=observed,
+        expected=expected,
+        variance=float(var),
+        z_score=float(z_score),
+        p_value=min(p_value, 1.0),
+        p_permutation=p_perm,
+        n_permutations=permutations,
+    )
+
+
+@dataclass(frozen=True)
+class LocalMoranResult:
+    """Local Moran (LISA): per-location statistics and cluster labels."""
+
+    statistics: np.ndarray
+    p_values: np.ndarray  # permutation pseudo p-values (one-sided)
+    labels: list[str]  # HH / LL / HL / LH / ns
+
+    def significant_mask(self, alpha: float = 0.05) -> np.ndarray:
+        return self.p_values < alpha
+
+
+def local_morans_i(
+    values,
+    weights: SpatialWeights,
+    permutations: int = 199,
+    seed=None,
+) -> LocalMoranResult:
+    """Local Moran's I with conditional permutation inference.
+
+    For each location the neighbours' values are re-drawn from the other
+    n-1 observations; the pseudo p-value is the rank of the observed local
+    statistic's magnitude in that conditional distribution.
+    """
+    n = weights.n
+    z = as_values(values, n)
+    permutations = int(permutations)
+    if permutations < 1:
+        raise ParameterError(f"permutations must be >= 1, got {permutations}")
+    zc = z - z.mean()
+    m2 = float(zc @ zc) / n
+    if m2 == 0.0:
+        raise DataError("values are constant; local Moran is undefined")
+
+    lag = weights.lag(zc)
+    stats = zc * lag / m2
+
+    rng = resolve_rng(seed)
+    p_values = np.empty(n, dtype=np.float64)
+    lag_mean = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        cols, w = weights.row(i)
+        k = cols.shape[0]
+        if k == 0:
+            p_values[i] = 1.0
+            lag_mean[i] = 0.0
+            continue
+        others = np.delete(zc, i)
+        extreme = 0
+        for _ in range(permutations):
+            draw = rng.choice(others, size=k, replace=False)
+            sim = zc[i] * float(w @ draw) / m2
+            # One-sided in the direction of the observed statistic.
+            if (stats[i] >= 0 and sim >= stats[i]) or (stats[i] < 0 and sim <= stats[i]):
+                extreme += 1
+        p_values[i] = (extreme + 1) / (permutations + 1)
+        lag_mean[i] = (w * zc[cols]).sum() / max(w.sum(), 1e-12)
+
+    labels = []
+    for zi, li, p in zip(zc, lag_mean, p_values):
+        if p >= 0.05:
+            labels.append("ns")
+        elif zi >= 0 and li >= 0:
+            labels.append("HH")
+        elif zi < 0 and li < 0:
+            labels.append("LL")
+        elif zi >= 0:
+            labels.append("HL")
+        else:
+            labels.append("LH")
+    return LocalMoranResult(statistics=stats, p_values=p_values, labels=labels)

@@ -1,0 +1,220 @@
+"""Spatial weight matrices — the substrate of Moran's I and Getis-Ord.
+
+A :class:`SpatialWeights` object is a sparse row-compressed weight matrix
+``W`` over n observations.  Constructors cover the three standard recipes:
+
+* :func:`knn_weights` — each observation's k nearest neighbours,
+* :func:`distance_band_weights` — all neighbours within a radius (the
+  binary weights Getis-Ord General G is defined over),
+* :func:`lattice_weights` — rook/queen contiguity on a regular grid
+  (for raster-valued analyses).
+
+The helpers ``s0``, ``s1``, ``s2`` expose the summary sums that the
+analytic (normality) variances of Moran's I and General G require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_points, check_positive
+from ...errors import DataError, ParameterError
+from ...index import KDTree
+
+__all__ = [
+    "SpatialWeights",
+    "knn_weights",
+    "distance_band_weights",
+    "lattice_weights",
+]
+
+
+class SpatialWeights:
+    """Sparse (CSR) spatial weight matrix with zero diagonal."""
+
+    def __init__(self, row_ptr, cols, weights, n: int):
+        self.row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.n = int(n)
+        if self.row_ptr.shape[0] != self.n + 1:
+            raise DataError("row_ptr must have length n + 1")
+        if self.cols.shape[0] != self.weights.shape[0]:
+            raise DataError("cols and weights must have the same length")
+        if self.cols.size and (self.cols.min() < 0 or self.cols.max() >= self.n):
+            raise DataError("column index out of range")
+        if np.any(self.weights < 0):
+            raise DataError("weights must be non-negative")
+        for i in range(self.n):
+            row_cols = self.row(i)[0]
+            if np.any(row_cols == i):
+                raise DataError("the weight matrix diagonal must be zero")
+
+    # -- accessors ------------------------------------------------------------
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor indices, weights) of observation ``i``."""
+        a, b = self.row_ptr[i], self.row_ptr[i + 1]
+        return self.cols[a:b], self.weights[a:b]
+
+    def n_links(self) -> int:
+        return int(self.cols.shape[0])
+
+    def cardinalities(self) -> np.ndarray:
+        return np.diff(self.row_ptr)
+
+    def dense(self) -> np.ndarray:
+        """Full (n, n) matrix — for tests and tiny problems only."""
+        out = np.zeros((self.n, self.n), dtype=np.float64)
+        for i in range(self.n):
+            cols, w = self.row(i)
+            out[i, cols] = w
+        return out
+
+    def lag(self, values: np.ndarray) -> np.ndarray:
+        """Spatial lag ``W z`` (weighted neighbour sums)."""
+        z = np.asarray(values, dtype=np.float64).ravel()
+        if z.shape[0] != self.n:
+            raise DataError(f"values must have length {self.n}")
+        out = np.zeros(self.n, dtype=np.float64)
+        for i in range(self.n):
+            cols, w = self.row(i)
+            if cols.size:
+                out[i] = (w * z[cols]).sum()
+        return out
+
+    def row_standardized(self) -> "SpatialWeights":
+        """Copy with each row rescaled to sum to one (isolates keep zero)."""
+        new_w = self.weights.copy()
+        for i in range(self.n):
+            a, b = self.row_ptr[i], self.row_ptr[i + 1]
+            total = new_w[a:b].sum()
+            if total > 0:
+                new_w[a:b] /= total
+        return SpatialWeights(self.row_ptr, self.cols, new_w, self.n)
+
+    # -- moment sums (Cliff-Ord notation) -----------------------------------------
+
+    def s0(self) -> float:
+        """Sum of all weights."""
+        return float(self.weights.sum())
+
+    def s1(self) -> float:
+        """``0.5 * sum_ij (w_ij + w_ji)^2``."""
+        dense_needed = {}
+        for i in range(self.n):
+            cols, w = self.row(i)
+            for j, wij in zip(cols, w):
+                dense_needed[(i, int(j))] = float(wij)
+        total = 0.0
+        for (i, j), wij in dense_needed.items():
+            wji = dense_needed.get((j, i), 0.0)
+            total += (wij + wji) ** 2
+        return 0.5 * total
+
+    def s2(self) -> float:
+        """``sum_i (w_i. + w_.i)^2`` (row-sum + column-sum squared)."""
+        row_sums = np.zeros(self.n, dtype=np.float64)
+        col_sums = np.zeros(self.n, dtype=np.float64)
+        for i in range(self.n):
+            cols, w = self.row(i)
+            row_sums[i] = w.sum()
+            np.add.at(col_sums, cols, w)
+        return float(((row_sums + col_sums) ** 2).sum())
+
+
+def _from_neighbor_lists(neighbors: list[np.ndarray], weights: list[np.ndarray], n: int) -> SpatialWeights:
+    counts = np.array([len(c) for c in neighbors], dtype=np.int64)
+    row_ptr = np.concatenate([[0], np.cumsum(counts)])
+    cols = np.concatenate(neighbors) if n and row_ptr[-1] else np.empty(0, dtype=np.int64)
+    vals = np.concatenate(weights) if n and row_ptr[-1] else np.empty(0, dtype=np.float64)
+    return SpatialWeights(row_ptr, cols, vals, n)
+
+
+def knn_weights(points, k: int, row_standardize: bool = True) -> SpatialWeights:
+    """k-nearest-neighbour weights (binary, optionally row-standardised).
+
+    Note kNN weights are generally asymmetric.
+    """
+    pts = as_points(points)
+    n = pts.shape[0]
+    k = int(k)
+    if not (1 <= k < n):
+        raise ParameterError(f"k must be in [1, n), got k={k} with n={n}")
+    tree = KDTree(pts)
+    neighbors: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for i in range(n):
+        _, idx = tree.knn(pts[i], k + 1)  # +1: the query matches itself
+        idx = idx[idx != i][:k]
+        neighbors.append(idx.astype(np.int64))
+        weights.append(np.ones(idx.shape[0], dtype=np.float64))
+    w = _from_neighbor_lists(neighbors, weights, n)
+    return w.row_standardized() if row_standardize else w
+
+
+def distance_band_weights(
+    points,
+    threshold: float,
+    binary: bool = True,
+    row_standardize: bool = False,
+) -> SpatialWeights:
+    """All-neighbours-within-``threshold`` weights.
+
+    ``binary=True`` gives the 0/1 weights of Getis-Ord's General G;
+    ``binary=False`` uses inverse distance within the band.
+    """
+    pts = as_points(points)
+    n = pts.shape[0]
+    threshold = check_positive(threshold, "threshold")
+    tree = KDTree(pts)
+    neighbors: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for i in range(n):
+        idx = tree.range_indices(pts[i], threshold)
+        idx = idx[idx != i]
+        neighbors.append(idx.astype(np.int64))
+        if binary:
+            weights.append(np.ones(idx.shape[0], dtype=np.float64))
+        else:
+            d = np.sqrt(((pts[idx] - pts[i]) ** 2).sum(axis=1))
+            weights.append(1.0 / np.maximum(d, 1e-12))
+    w = _from_neighbor_lists(neighbors, weights, n)
+    return w.row_standardized() if row_standardize else w
+
+
+def lattice_weights(nx: int, ny: int, contiguity: str = "queen") -> SpatialWeights:
+    """Rook/queen contiguity on an ``nx x ny`` lattice (row-major ids).
+
+    Cell (i, j) has id ``i * ny + j`` — matching the ``values[i, j]``
+    layout of :class:`~repro.raster.DensityGrid`, so a flattened raster can
+    be fed straight into Moran's I.
+    """
+    nx, ny = int(nx), int(ny)
+    if nx < 1 or ny < 1:
+        raise ParameterError(f"lattice must be at least 1x1, got {nx}x{ny}")
+    if contiguity == "rook":
+        moves = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    elif contiguity == "queen":
+        moves = [
+            (-1, -1), (-1, 0), (-1, 1),
+            (0, -1), (0, 1),
+            (1, -1), (1, 0), (1, 1),
+        ]
+    else:
+        raise ParameterError(f"contiguity must be 'rook' or 'queen', got {contiguity!r}")
+
+    n = nx * ny
+    neighbors: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for i in range(nx):
+        for j in range(ny):
+            nbrs = [
+                (i + di) * ny + (j + dj)
+                for di, dj in moves
+                if 0 <= i + di < nx and 0 <= j + dj < ny
+            ]
+            arr = np.asarray(nbrs, dtype=np.int64)
+            neighbors.append(arr)
+            weights.append(np.ones(arr.shape[0], dtype=np.float64))
+    return _from_neighbor_lists(neighbors, weights, n)

@@ -1,0 +1,6 @@
+"""Spatial clustering and hotspot extraction."""
+
+from .dbscan import dbscan
+from .hotspots import Hotspot, extract_hotspots, label_components
+
+__all__ = ["Hotspot", "dbscan", "extract_hotspots", "label_components"]

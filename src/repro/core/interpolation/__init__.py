@@ -1,0 +1,33 @@
+"""Interpolation tools of Table 1: IDW and Kriging (with variograms)."""
+
+from .idw import IDW_METHODS, idw_grid, idw_predict
+from .kriging import (
+    KrigingResult,
+    kriging_grid,
+    loocv_kriging,
+    ordinary_kriging,
+    simple_kriging,
+    universal_kriging,
+)
+from .variogram import (
+    VARIOGRAM_MODELS,
+    VariogramModel,
+    empirical_variogram,
+    fit_variogram,
+)
+
+__all__ = [
+    "IDW_METHODS",
+    "KrigingResult",
+    "VARIOGRAM_MODELS",
+    "VariogramModel",
+    "empirical_variogram",
+    "fit_variogram",
+    "idw_grid",
+    "idw_predict",
+    "kriging_grid",
+    "loocv_kriging",
+    "ordinary_kriging",
+    "simple_kriging",
+    "universal_kriging",
+]

@@ -1,0 +1,210 @@
+"""Empirical semivariograms and variogram model fitting (kriging substrate).
+
+Kriging (Table 1's third hotspot-detection tool) needs a fitted variogram:
+a model of how sample dissimilarity grows with distance.  This module
+computes the binned empirical semivariogram
+
+    gamma(h) = 0.5 * mean{ (z_i - z_j)^2 : dist(p_i, p_j) in bin(h) }
+
+and fits the classical bounded models (spherical, exponential, Gaussian,
+linear) by weighted least squares.  The fit is pure NumPy: for each
+candidate range the model is *linear* in (nugget, partial sill), so an
+exact 2x2 weighted solve per range plus a coarse-to-fine range search
+finds the optimum without external optimisers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..._validation import as_points, as_values, check_positive, resolve_rng
+from ...errors import ConvergenceError, DataError, ParameterError
+
+__all__ = [
+    "empirical_variogram",
+    "VariogramModel",
+    "fit_variogram",
+    "VARIOGRAM_MODELS",
+]
+
+
+def _spherical(h: np.ndarray, rng: float) -> np.ndarray:
+    u = np.minimum(h / rng, 1.0)
+    return 1.5 * u - 0.5 * u ** 3
+
+
+def _exponential(h: np.ndarray, rng: float) -> np.ndarray:
+    return 1.0 - np.exp(-3.0 * h / rng)
+
+
+def _gaussian_model(h: np.ndarray, rng: float) -> np.ndarray:
+    return 1.0 - np.exp(-3.0 * (h / rng) ** 2)
+
+
+def _linear(h: np.ndarray, rng: float) -> np.ndarray:
+    return np.minimum(h / rng, 1.0)
+
+
+VARIOGRAM_MODELS: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "spherical": _spherical,
+    "exponential": _exponential,
+    "gaussian": _gaussian_model,
+    "linear": _linear,
+}
+
+
+def empirical_variogram(
+    points,
+    values,
+    n_bins: int = 15,
+    max_dist: float | None = None,
+    max_pairs: int = 500_000,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Binned empirical semivariogram.
+
+    Returns ``(lags, gamma, counts)``: bin-centre distances, semivariances
+    and pair counts (zero-pair bins are dropped).  When the number of pairs
+    exceeds ``max_pairs`` a uniform random subset of pairs is used — the
+    standard practice for large n.
+    """
+    pts = as_points(points)
+    z = as_values(values, pts.shape[0])
+    n = pts.shape[0]
+    if n < 2:
+        raise DataError("variogram needs at least two samples")
+    n_bins = int(n_bins)
+    if n_bins < 1:
+        raise ParameterError(f"n_bins must be >= 1, got {n_bins}")
+
+    total_pairs = n * (n - 1) // 2
+    rng = resolve_rng(seed)
+    if total_pairs <= max_pairs:
+        iu, ju = np.triu_indices(n, k=1)
+    else:
+        iu = rng.integers(0, n, size=max_pairs)
+        ju = rng.integers(0, n, size=max_pairs)
+        keep = iu != ju
+        iu, ju = iu[keep], ju[keep]
+
+    d = np.sqrt(((pts[iu] - pts[ju]) ** 2).sum(axis=1))
+    sq = 0.5 * (z[iu] - z[ju]) ** 2
+
+    if max_dist is None:
+        max_dist = float(d.max()) / 2.0  # variograms are unreliable past half-extent
+        if max_dist <= 0.0:
+            raise DataError("all samples are co-located; variogram undefined")
+    else:
+        max_dist = check_positive(max_dist, "max_dist")
+
+    inside = d <= max_dist
+    d, sq = d[inside], sq[inside]
+    if d.size == 0:
+        raise DataError(f"no pairs within max_dist={max_dist}")
+
+    edges = np.linspace(0.0, max_dist, n_bins + 1)
+    which = np.clip(np.digitize(d, edges) - 1, 0, n_bins - 1)
+    counts = np.bincount(which, minlength=n_bins)
+    sums = np.bincount(which, weights=sq, minlength=n_bins)
+    nonzero = counts > 0
+    lags = 0.5 * (edges[:-1] + edges[1:])[nonzero]
+    gamma = sums[nonzero] / counts[nonzero]
+    return lags, gamma, counts[nonzero]
+
+
+@dataclass(frozen=True)
+class VariogramModel:
+    """A fitted variogram ``gamma(h) = nugget + psill * g(h / range)``."""
+
+    model: str
+    nugget: float
+    psill: float
+    range_: float
+
+    def __post_init__(self) -> None:
+        if self.model not in VARIOGRAM_MODELS:
+            known = ", ".join(sorted(VARIOGRAM_MODELS))
+            raise ParameterError(f"unknown variogram model {self.model!r}; known: {known}")
+        if self.nugget < 0 or self.psill < 0 or self.range_ <= 0:
+            raise ParameterError(
+                "variogram requires nugget >= 0, psill >= 0, range > 0; got "
+                f"nugget={self.nugget}, psill={self.psill}, range={self.range_}"
+            )
+
+    @property
+    def sill(self) -> float:
+        return self.nugget + self.psill
+
+    def __call__(self, h) -> np.ndarray:
+        """Semivariance at distance(s) ``h`` (gamma(0) = 0 by convention)."""
+        h = np.asarray(h, dtype=np.float64)
+        shape = VARIOGRAM_MODELS[self.model](np.abs(h), self.range_)
+        out = self.nugget + self.psill * shape
+        return np.where(h == 0.0, 0.0, out)
+
+    def covariance(self, h) -> np.ndarray:
+        """Covariance form ``C(h) = sill - gamma(h)`` used by kriging."""
+        return self.sill - self(h)
+
+
+def fit_variogram(
+    lags,
+    gamma,
+    model: str = "spherical",
+    counts=None,
+    n_range_candidates: int = 64,
+) -> VariogramModel:
+    """Weighted least-squares fit of a variogram model.
+
+    ``counts`` (pair counts per bin) weight the residuals when provided.
+    The range is searched over a geometric candidate grid; nugget and
+    partial sill are solved exactly per candidate.
+    """
+    lags = np.asarray(lags, dtype=np.float64).ravel()
+    gamma = np.asarray(gamma, dtype=np.float64).ravel()
+    if lags.shape != gamma.shape or lags.size < 3:
+        raise DataError("need matching lags/gamma with at least 3 bins")
+    if model not in VARIOGRAM_MODELS:
+        known = ", ".join(sorted(VARIOGRAM_MODELS))
+        raise ParameterError(f"unknown variogram model {model!r}; known: {known}")
+    if counts is None:
+        w = np.ones_like(gamma)
+    else:
+        w = np.asarray(counts, dtype=np.float64).ravel()
+        if w.shape != gamma.shape or np.any(w < 0):
+            raise DataError("counts must be non-negative and match the bins")
+        w = np.maximum(w, 1e-9)
+
+    shape_fn = VARIOGRAM_MODELS[model]
+    h_max = float(lags.max())
+    candidates = h_max * np.geomspace(0.05, 2.0, int(n_range_candidates))
+
+    best = None
+    for rng_c in candidates:
+        g = shape_fn(lags, float(rng_c))
+        # Weighted LS for gamma ~ nugget + psill * g  (2x2 normal equations).
+        a11 = w.sum()
+        a12 = (w * g).sum()
+        a22 = (w * g * g).sum()
+        b1 = (w * gamma).sum()
+        b2 = (w * g * gamma).sum()
+        det = a11 * a22 - a12 * a12
+        if det <= 1e-12 * max(a11 * a22, 1.0):
+            continue
+        nugget = (b1 * a22 - b2 * a12) / det
+        psill = (a11 * b2 - a12 * b1) / det
+        nugget = max(nugget, 0.0)
+        psill = max(psill, 0.0)
+        resid = gamma - (nugget + psill * g)
+        sse = float((w * resid * resid).sum())
+        if best is None or sse < best[0]:
+            best = (sse, nugget, psill, float(rng_c))
+    if best is None:
+        raise ConvergenceError("variogram fit failed on every candidate range")
+    _, nugget, psill, rng_best = best
+    if psill == 0.0 and nugget == 0.0:
+        raise ConvergenceError("degenerate variogram fit (zero sill)")
+    return VariogramModel(model=model, nugget=nugget, psill=psill, range_=rng_best)

@@ -1,0 +1,40 @@
+"""Kernel density visualisation (KDV) with the paper's four method families."""
+
+from .adaptive import adaptive_bandwidths, kde_adaptive
+from .anisotropic import kde_grid_anisotropic
+from .api import KDV_METHODS, kde_grid
+from .bandwidth import scott_bandwidth, silverman_bandwidth
+from .lscv import lscv_bandwidth, lscv_score
+from .base import KDVProblem, effective_radius
+from .bounds import kde_bounds, kde_point_bounds
+from .dualtree import kde_dualtree
+from .gridcut import kde_gridcut
+from .naive import kde_naive
+from .parallel import kde_parallel
+from .sampling import kde_sampling, sample_size
+from .streaming import KDVAccumulator
+from .sweep import kde_sweep
+
+__all__ = [
+    "KDVAccumulator",
+    "KDVProblem",
+    "adaptive_bandwidths",
+    "kde_adaptive",
+    "lscv_bandwidth",
+    "lscv_score",
+    "KDV_METHODS",
+    "effective_radius",
+    "kde_bounds",
+    "kde_dualtree",
+    "kde_grid",
+    "kde_grid_anisotropic",
+    "kde_gridcut",
+    "kde_naive",
+    "kde_parallel",
+    "kde_point_bounds",
+    "kde_sampling",
+    "kde_sweep",
+    "sample_size",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+]

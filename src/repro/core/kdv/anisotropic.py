@@ -1,0 +1,56 @@
+"""Axis-aligned anisotropic KDV.
+
+Urban phenomena often spread differently along the two axes (a coastal
+strip city, events along an avenue grid).  With per-axis bandwidths
+``(b_x, b_y)`` the kernel argument becomes the *scaled* distance
+
+    d'^2 = ((q_x - p_x) / b_x)^2 + ((q_y - p_y) / b_y)^2,
+
+evaluated at bandwidth 1.  Because the scaling is axis-aligned, it maps
+pixel lattices to pixel lattices — so the whole computation reduces to an
+isotropic KDV on coordinates divided by ``(b_x, b_y)``, and every backend
+(sweep included) is reused unchanged.  Values are returned on the original
+lattice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_points, check_positive
+from ...geometry import BoundingBox
+from ...raster import DensityGrid
+from ..kernels import Kernel
+from .api import kde_grid
+
+__all__ = ["kde_grid_anisotropic"]
+
+def kde_grid_anisotropic(
+    points,
+    bbox: BoundingBox,
+    size: tuple[int, int],
+    bandwidths: tuple[float, float],
+    kernel: str | Kernel = "quartic",
+    method: str = "auto",
+    **kwargs,
+) -> DensityGrid:
+    """KDV with separate x/y bandwidths (axis-aligned anisotropy).
+
+    Parameters are those of :func:`~repro.core.kdv.kde_grid` except
+    ``bandwidths = (b_x, b_y)``.  The result's values equal
+    ``sum_i K(d'_i; 1)`` with the scaled distance above, on the original
+    pixel lattice and window.
+    """
+    b_x = check_positive(bandwidths[0], "bandwidths[0]")
+    b_y = check_positive(bandwidths[1], "bandwidths[1]")
+    pts = as_points(points)
+
+    scaled_pts = pts / np.array([b_x, b_y])
+    scaled_bbox = BoundingBox(
+        bbox.xmin / b_x, bbox.ymin / b_y, bbox.xmax / b_x, bbox.ymax / b_y
+    )
+    grid = kde_grid(
+        scaled_pts, scaled_bbox, size, 1.0, kernel=kernel, method=method, **kwargs
+    )
+    # Same values, original window: scaling is a bijection between lattices.
+    return DensityGrid(bbox, grid.values)

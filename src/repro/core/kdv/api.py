@@ -1,0 +1,136 @@
+"""Public KDV entry point: one function, five interchangeable backends.
+
+``kde_grid`` is the library's Definition 1: colour every pixel of an
+``nx x ny`` grid by the kernel density value of Equation 1.  The
+``method`` argument selects an acceleration family from §2.2:
+
+============  ====================================================  =======
+method        algorithm                                             result
+============  ====================================================  =======
+``naive``     brute-force O(XYn) gather                             exact
+``grid``      support-cutoff scatter                                exact*
+``sweep``     SLAM-style sweep line, O(Y(X + n))                    exact
+``bounds``    kd/ball-tree function approximation                   (1±eps)
+``dualtree``  tile-vs-node block refinement                         |err|<=tau/2
+``sampling``  reweighted uniform subset (Equation 7)                prob.
+``parallel``  thread-parallel exact gather                          exact
+``auto``      sweep for polynomial kernels, grid otherwise          exact*
+============  ====================================================  =======
+
+(*) for infinite-support kernels, ``grid``/``auto`` truncate below a
+``1e-12`` kernel tail; the absolute error is bounded by ``n * 1e-12``.
+"""
+
+from __future__ import annotations
+
+from ...errors import ParameterError
+from ...geometry import BoundingBox
+from ...raster import DensityGrid
+from ..kernels import Kernel
+from .adaptive import kde_adaptive
+from .base import KDVProblem
+from .bounds import kde_bounds
+from .dualtree import kde_dualtree
+from .gridcut import kde_gridcut
+from .naive import kde_naive
+from .parallel import kde_parallel
+from .sampling import kde_sampling
+from .sweep import kde_sweep
+
+__all__ = ["kde_grid", "KDV_METHODS"]
+
+KDV_METHODS = (
+    "auto", "naive", "grid", "sweep", "bounds", "dualtree", "sampling", "parallel",
+    "adaptive",
+)
+
+
+def kde_grid(
+    points,
+    bbox: BoundingBox,
+    size: tuple[int, int],
+    bandwidth: float,
+    kernel: str | Kernel = "quartic",
+    method: str = "auto",
+    weights=None,
+    normalize: bool = False,
+    eps: float = 0.05,
+    delta: float = 0.05,
+    sample: int | None = None,
+    seed=None,
+    workers: int = 4,
+    index: str = "kdtree",
+    tau: float = 1e-3,
+) -> DensityGrid:
+    """Kernel density visualisation (paper Definition 1).
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` event locations.
+    bbox:
+        Study window the pixel grid tiles.
+    size:
+        ``(nx, ny)`` pixel resolution (the paper's X x Y).
+    bandwidth:
+        Kernel bandwidth ``b``.
+    kernel:
+        A Table 2 kernel name (``"uniform"``, ``"epanechnikov"``,
+        ``"quartic"``, ``"gaussian"``) or one of the extension kernels
+        (``"triangular"``, ``"cosine"``, ``"exponential"``), or a
+        :class:`~repro.core.kernels.Kernel` instance.
+    method:
+        Backend selector; see the module table.
+    weights:
+        Optional per-point weights (``naive``/``grid``/``sweep``/
+        ``parallel`` only).
+    normalize:
+        When true, scale the raw kernel sums by Equation 1's ``w`` so the
+        surface integrates to one.
+    eps, delta, sample, seed:
+        Guarantee / sample-size parameters for ``bounds`` and ``sampling``.
+    workers:
+        Thread count for ``parallel``.
+    index:
+        Carrier index for ``bounds``: ``"kdtree"`` or ``"balltree"``.
+    tau:
+        Absolute error budget for ``dualtree`` (per-pixel error <= tau/2).
+
+    Returns
+    -------
+    :class:`~repro.raster.DensityGrid`
+    """
+    problem = KDVProblem(points, bbox, size, bandwidth, kernel, weights=weights)
+
+    if method == "auto":
+        has_poly = problem.kernel.poly_coeffs(problem.bandwidth) is not None
+        dx, dy = problem.bbox.pixel_size(problem.nx, problem.ny)
+        # Sub-pixel bandwidths stress the sweep's polynomial cancellation
+        # and each point touches O(1) pixels anyway, so scatter wins there.
+        sub_pixel = problem.bandwidth < 2.0 * max(dx, dy)
+        method = "sweep" if has_poly and not sub_pixel else "grid"
+
+    if method == "naive":
+        grid = kde_naive(problem)
+    elif method == "grid":
+        grid = kde_gridcut(problem)
+    elif method == "sweep":
+        grid = kde_sweep(problem)
+    elif method == "bounds":
+        grid = kde_bounds(problem, eps=eps, index=index)
+    elif method == "dualtree":
+        grid = kde_dualtree(problem, tau=tau)
+    elif method == "sampling":
+        grid = kde_sampling(problem, eps=eps, delta=delta, sample=sample, seed=seed)
+    elif method == "parallel":
+        grid = kde_parallel(problem, workers=workers)
+    elif method == "adaptive":
+        grid = kde_adaptive(problem)
+    else:
+        raise ParameterError(
+            f"unknown KDV method {method!r}; available: {', '.join(KDV_METHODS)}"
+        )
+
+    if normalize:
+        grid = DensityGrid(grid.bbox, grid.values * problem.normalization())
+    return grid

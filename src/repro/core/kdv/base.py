@@ -1,0 +1,106 @@
+"""Shared plumbing for the KDV backends.
+
+Every backend computes the same quantity — the kernel density surface of
+Definition 1 evaluated at the centres of an ``nx x ny`` pixel grid — and
+returns a :class:`~repro.raster.DensityGrid`.  This module holds the common
+argument handling so the algorithmic files contain only their algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_points, check_positive
+from ...errors import ParameterError
+from ...geometry import BoundingBox
+from ...raster import DensityGrid
+from ..kernels import Kernel, get_kernel
+
+__all__ = ["KDVProblem", "effective_radius"]
+
+
+class KDVProblem:
+    """A fully validated KDV instance shared by all backends.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` event locations.
+    bbox:
+        Study window; pixels tile this box.
+    size:
+        ``(nx, ny)`` pixel resolution.
+    bandwidth:
+        Kernel bandwidth ``b`` of Table 2.
+    kernel:
+        Kernel name or instance (default the paper's running example,
+        quartic).
+    weights:
+        Optional per-point weights ``w_i`` (Equation 7's reweighted subset);
+        default all ones.
+    """
+
+    def __init__(
+        self,
+        points,
+        bbox: BoundingBox,
+        size: tuple[int, int],
+        bandwidth: float,
+        kernel: str | Kernel = "quartic",
+        weights=None,
+    ):
+        self.points = as_points(points)
+        if not isinstance(bbox, BoundingBox):
+            raise ParameterError("bbox must be a BoundingBox")
+        self.bbox = bbox
+        nx, ny = int(size[0]), int(size[1])
+        if nx < 1 or ny < 1:
+            raise ParameterError(f"grid size must be positive, got {nx}x{ny}")
+        self.nx = nx
+        self.ny = ny
+        self.bandwidth = check_positive(bandwidth, "bandwidth")
+        self.kernel = get_kernel(kernel)
+        n = self.points.shape[0]
+        if weights is None:
+            self.weights = None
+        else:
+            w = np.asarray(weights, dtype=np.float64).ravel()
+            if w.shape[0] != n:
+                raise ParameterError(f"weights must have length {n}, got {w.shape[0]}")
+            if np.any(~np.isfinite(w)) or np.any(w < 0):
+                raise ParameterError("weights must be finite and non-negative")
+            self.weights = w
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    def pixel_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.bbox.pixel_centers(self.nx, self.ny)
+
+    def total_weight(self) -> float:
+        return float(self.n if self.weights is None else self.weights.sum())
+
+    def make_grid(self, values: np.ndarray) -> DensityGrid:
+        return DensityGrid(self.bbox, values)
+
+    def normalization(self) -> float:
+        """Equation 1's ``w`` for a probability density: 1 / (W * integral)."""
+        total = self.total_weight()
+        if total <= 0.0:
+            raise ParameterError("total point weight must be positive to normalise")
+        return 1.0 / (total * self.kernel.integral(self.bandwidth))
+
+
+def effective_radius(kernel: Kernel, bandwidth: float, tail: float = 1e-12) -> float:
+    """Cutoff radius for a kernel: exact support, or the ``tail`` quantile.
+
+    Finite-support kernels return their true support radius.  Infinite
+    kernels (Gaussian, exponential) return the radius beyond which the
+    kernel value is below ``tail``; truncating there bounds the absolute
+    density error by ``n * tail``.
+    """
+    r = kernel.support_radius(bandwidth)
+    if np.isfinite(r):
+        return float(r)
+    return float(kernel.effective_radius(bandwidth, tail))

@@ -1,0 +1,137 @@
+"""Dual-tree KDV: block function approximation with an absolute guarantee.
+
+The per-pixel bound refinement of :mod:`.bounds` answers one pixel at a
+time; the dual-tree formulation (the structure actually used by QUAD [25]
+and the classic Gray-Moore dual-tree KDE [51, 52]) refines *pixel tiles*
+against *kd-tree nodes* simultaneously:
+
+* for a (tile, node) pair, the distance between the tile's rectangle and
+  the node's bounding box brackets every pixel-point distance, so
+
+      node.count * K(dmax)  <=  contribution to each pixel  <=  node.count * K(dmin);
+
+* if the per-point gap ``K(dmin) - K(dmax)`` is at most ``tau / n``, the
+  midpoint is added to the whole tile at once — each pixel's total error
+  is then at most ``tau / 2`` because the accepted nodes partition the
+  point set;
+* otherwise the pair recurses on whichever side is wider (tile split or
+  node split); leaf-leaf pairs are evaluated exactly.
+
+The guarantee is *absolute* (``|F̂(q) - F(q)| <= tau/2`` for every pixel),
+which composes cleanly across tiles; pass ``tau=0`` for exact evaluation.
+Works with every kernel in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_non_negative
+from ...errors import ParameterError
+from ...index import KDTree
+from .base import KDVProblem
+
+__all__ = ["kde_dualtree"]
+
+_TILE_LEAF = 8  # tiles at most this many pixels wide are scanned exactly
+
+
+def _box_distance_bounds(
+    tx0: float, tx1: float, ty0: float, ty1: float,
+    nx0: float, nx1: float, ny0: float, ny1: float,
+) -> tuple[float, float]:
+    """(min, max) distance between two axis-aligned rectangles."""
+    dx_min = max(nx0 - tx1, 0.0, tx0 - nx1)
+    dy_min = max(ny0 - ty1, 0.0, ty0 - ny1)
+    dx_max = max(nx1 - tx0, tx1 - nx0)
+    dy_max = max(ny1 - ty0, ty1 - ny0)
+    return float(np.hypot(dx_min, dy_min)), float(np.hypot(dx_max, dy_max))
+
+
+def kde_dualtree(
+    problem: KDVProblem,
+    tau: float = 1e-3,
+    leaf_size: int = 32,
+):
+    """KDV with per-pixel absolute error at most ``tau / 2``.
+
+    Parameters
+    ----------
+    problem:
+        The KDV instance (per-point weights are not supported: node counts
+        are the bound multipliers).
+    tau:
+        Absolute error budget; ``0`` gives exact evaluation through
+        leaf-leaf scans.  A good default for visualisation is a small
+        fraction of the expected peak (e.g. ``1e-3 * n * K_max``) — but
+        even ``tau ~ 1`` is invisible on a colour-mapped heatmap.
+    leaf_size:
+        kd-tree leaf size.
+    """
+    if problem.weights is not None:
+        raise ParameterError("the dual-tree backend does not support point weights")
+    tau = check_non_negative(tau, "tau")
+
+    tree = KDTree(problem.points, leaf_size=leaf_size)
+    kernel = problem.kernel
+    b = problem.bandwidth
+    n = problem.n
+    per_point_tol = tau / n
+
+    xs, ys = problem.pixel_centers()
+    nx, ny = problem.nx, problem.ny
+    values = np.zeros((nx, ny), dtype=np.float64)
+
+    # Tiles are half-open pixel index ranges [ix0, ix1) x [iy0, iy1).
+    stack: list[tuple[int, int, int, int, int]] = [(0, nx, 0, ny, 0)]
+    while stack:
+        ix0, ix1, iy0, iy1, node = stack.pop()
+        tx0, tx1 = xs[ix0], xs[ix1 - 1]
+        ty0, ty1 = ys[iy0], ys[iy1 - 1]
+        nmin = tree.node_min[node]
+        nmax = tree.node_max[node]
+        dmin, dmax = _box_distance_bounds(
+            tx0, tx1, ty0, ty1, nmin[0], nmax[0], nmin[1], nmax[1]
+        )
+        k_hi = float(kernel.evaluate(dmin, b))
+        if k_hi == 0.0:
+            continue  # the whole pair is outside the kernel support
+        k_lo = float(kernel.evaluate(dmax, b))
+        count = tree.node_count(node)
+        if k_hi - k_lo <= per_point_tol:
+            values[ix0:ix1, iy0:iy1] += count * 0.5 * (k_hi + k_lo)
+            continue
+
+        tile_w = ix1 - ix0
+        tile_h = iy1 - iy0
+        node_is_leaf = tree.is_leaf(node)
+        tile_is_leaf = tile_w <= _TILE_LEAF and tile_h <= _TILE_LEAF
+
+        if node_is_leaf and tile_is_leaf:
+            block = tree.node_points(node)
+            gx = xs[ix0:ix1][:, None, None]
+            gy = ys[iy0:iy1][None, :, None]
+            d2 = (gx - block[:, 0][None, None, :]) ** 2 + (
+                gy - block[:, 1][None, None, :]
+            ) ** 2
+            values[ix0:ix1, iy0:iy1] += kernel.evaluate_sq(d2, b).sum(axis=2)
+            continue
+
+        # Split whichever side is wider (in coordinate units).
+        tile_extent = max(tx1 - tx0, ty1 - ty0)
+        node_extent = float(max(nmax[0] - nmin[0], nmax[1] - nmin[1]))
+        split_tile = not tile_is_leaf and (node_is_leaf or tile_extent >= node_extent)
+        if split_tile:
+            if tile_w >= tile_h:
+                mid = (ix0 + ix1) // 2
+                stack.append((ix0, mid, iy0, iy1, node))
+                stack.append((mid, ix1, iy0, iy1, node))
+            else:
+                mid = (iy0 + iy1) // 2
+                stack.append((ix0, ix1, iy0, mid, node))
+                stack.append((ix0, ix1, mid, iy1, node))
+        else:
+            left, right = tree.children(node)
+            stack.append((ix0, ix1, iy0, iy1, left))
+            stack.append((ix0, ix1, iy0, iy1, right))
+    return problem.make_grid(values)

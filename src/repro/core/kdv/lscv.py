@@ -1,0 +1,148 @@
+"""Least-squares cross-validation (LSCV) bandwidth selection.
+
+The plug-in rules (Scott/Silverman) assume near-Gaussian data; for the
+multi-modal hotspot patterns this library targets, the classical
+data-driven alternative is LSCV: choose the bandwidth minimising the
+unbiased risk estimate
+
+    LSCV(b) = ∫ f̂_b(x)^2 dx  -  (2 / n) Σ_i f̂_b,-i(p_i),
+
+where ``f̂_b,-i`` is the leave-one-out estimate.  Both terms reduce to
+pairwise kernel evaluations:
+
+* the cross term is a pairwise sum of ``K(d_ij; b)``;
+* the squared-integral term is a pairwise sum of the *convolution kernel*
+  ``(K * K)(d_ij; b)``, which this module evaluates in closed form for the
+  Gaussian and numerically (polar quadrature of the product integral) for
+  the finite-support kernels, cached per bandwidth.
+
+Cost is O(n^2) per candidate (with optional pair subsampling), which is
+the textbook method — the point here is correctness of the selector, not
+its asymptotics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_points, check_positive, resolve_rng
+from ...errors import DataError, ParameterError
+from ..kernels import GaussianKernel, Kernel, get_kernel
+
+__all__ = ["lscv_score", "lscv_bandwidth"]
+
+
+def _normalized_kernel(kernel: Kernel, d: np.ndarray, b: float) -> np.ndarray:
+    """Kernel scaled to integrate to 1 over the plane."""
+    return kernel.evaluate(d, b) / kernel.integral(b)
+
+
+def _self_convolution(kernel: Kernel, d: np.ndarray, b: float) -> np.ndarray:
+    """(K * K)(d) for the density-normalised kernel.
+
+    Gaussian: closed form (convolution of two Gaussians).  Finite-support
+    kernels: 2-D numerical convolution via the overlap integral on a polar
+    grid, evaluated by brute quadrature over the support disc — accurate to
+    ~1e-3 relative, plenty for bandwidth selection.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    if isinstance(kernel, GaussianKernel):
+        # Normalised Gaussian with K = exp(-r^2/b^2)/(pi b^2); its self-
+        # convolution is the same family at bandwidth b*sqrt(2).
+        b2 = b * np.sqrt(2.0)
+        return np.exp(-(d * d) / (b2 * b2)) / (np.pi * b2 * b2)
+
+    radius = kernel.support_radius(b)
+    if not np.isfinite(radius):
+        radius = kernel.effective_radius(b, tail=1e-10)
+    # Quadrature lattice over one kernel's support.
+    m = 48
+    ax = np.linspace(-radius, radius, m)
+    gx, gy = np.meshgrid(ax, ax, indexing="ij")
+    cell = (ax[1] - ax[0]) ** 2
+    base = _normalized_kernel(kernel, np.sqrt(gx ** 2 + gy ** 2), b)
+
+    out = np.empty(d.shape, dtype=np.float64)
+    flat = d.ravel()
+    for idx, dist in enumerate(flat):
+        if dist > 2.0 * radius:
+            out.flat[idx] = 0.0
+            continue
+        shifted = _normalized_kernel(
+            kernel, np.sqrt((gx - dist) ** 2 + gy ** 2), b
+        )
+        out.flat[idx] = float((base * shifted).sum() * cell)
+    return out
+
+
+def lscv_score(
+    points,
+    bandwidth: float,
+    kernel: str | Kernel = "gaussian",
+    max_pairs: int = 200_000,
+    seed=None,
+) -> float:
+    """The LSCV risk estimate at one bandwidth (lower is better)."""
+    pts = as_points(points)
+    n = pts.shape[0]
+    if n < 3:
+        raise DataError("LSCV needs at least three points")
+    b = check_positive(bandwidth, "bandwidth")
+    kern = get_kernel(kernel)
+
+    total_pairs = n * (n - 1) // 2
+    rng = resolve_rng(seed)
+    if total_pairs <= max_pairs:
+        iu, ju = np.triu_indices(n, k=1)
+        scale = 1.0
+    else:
+        iu = rng.integers(0, n, size=max_pairs)
+        ju = rng.integers(0, n, size=max_pairs)
+        keep = iu != ju
+        iu, ju = iu[keep], ju[keep]
+        scale = total_pairs / iu.shape[0]
+    d = np.sqrt(((pts[iu] - pts[ju]) ** 2).sum(axis=1))
+
+    conv_pairs = float(_self_convolution(kern, d, b).sum()) * scale
+    conv_zero = float(_self_convolution(kern, np.array([0.0]), b)[0])
+    cross_pairs = float(_normalized_kernel(kern, d, b).sum()) * scale
+
+    # ∫ f̂^2 = (1/n^2) [ n (K*K)(0) + 2 Σ_{i<j} (K*K)(d_ij) ]
+    integral_sq = (n * conv_zero + 2.0 * conv_pairs) / (n * n)
+    # (2/n) Σ_i f̂_{-i}(p_i) = (2 / (n (n-1))) * 2 Σ_{i<j} K(d_ij)
+    loo = 4.0 * cross_pairs / (n * (n - 1))
+    return integral_sq - loo
+
+
+def lscv_bandwidth(
+    points,
+    kernel: str | Kernel = "gaussian",
+    candidates=None,
+    n_candidates: int = 16,
+    max_pairs: int = 200_000,
+    seed=None,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Grid-search LSCV bandwidth selection.
+
+    Returns ``(best_bandwidth, candidates, scores)``.  The default
+    candidate grid is geometric around Scott's rule (0.25x to 4x).
+    """
+    pts = as_points(points)
+    if candidates is None:
+        from .bandwidth import scott_bandwidth
+
+        center = scott_bandwidth(pts)
+        candidates = center * np.geomspace(0.25, 4.0, int(n_candidates))
+    else:
+        candidates = np.asarray(candidates, dtype=np.float64).ravel()
+        if candidates.size == 0 or np.any(candidates <= 0):
+            raise ParameterError("candidates must be positive and non-empty")
+
+    scores = np.array(
+        [
+            lscv_score(pts, float(b), kernel=kernel, max_pairs=max_pairs, seed=seed)
+            for b in candidates
+        ]
+    )
+    best = int(np.argmin(scores))
+    return float(candidates[best]), candidates, scores

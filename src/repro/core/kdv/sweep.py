@@ -1,0 +1,160 @@
+"""Sweep-line KDV: the paper's computational-sharing method (SLAM [32]).
+
+For the finite-support kernels that are polynomials in the squared
+distance (uniform, Epanechnikov, quartic — exactly the kernel class the
+paper says SLAM-style algorithms support), the kernel sum along one pixel
+row is a *piecewise polynomial in x*:
+
+    K(q, p) = sum_k c_k * (d^2)^k,    d^2 = (x - px)^2 + dy^2
+
+so each point contributes a polynomial of degree ``2k_max`` in ``x`` over
+the x-interval where it is within the support radius.  Sweeping a row from
+left to right, we maintain the *aggregate polynomial coefficients* of all
+currently active points: a point adds its expanded coefficients when the
+sweep enters its interval and subtracts them on exit.  Between events the
+aggregate polynomial is evaluated on the pixel lattice in one vectorised
+pass.
+
+Complexity: each of the ``Y`` rows costs O(X + n_band) where ``n_band`` is
+the number of points within the bandwidth of the row — the O(Y(X + n))
+bound the paper quotes for the state of the art [32].
+
+Numerical note: coefficients are expanded around the *row centre* so the
+polynomial argument stays O(window width / 2); with quartic kernels this
+keeps relative error near 1e-9 on realistic windows (tests compare against
+the naive backend at 1e-6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ParameterError
+from .base import KDVProblem
+
+__all__ = ["kde_sweep"]
+
+
+def _expanded_coeffs(pu: np.ndarray, a: np.ndarray, c: np.ndarray, w) -> np.ndarray:
+    """Per-point polynomial coefficients in the (centred) pixel coordinate.
+
+    ``pu`` are centred point x-coordinates, ``a = dy^2`` their squared row
+    offsets, ``c`` the kernel's coefficients in d^2 (ascending), and ``w``
+    per-point weights (scalar 1.0 or an array).  Returns an ``(m, deg+1)``
+    array of ascending coefficients, where ``deg = 2 * (len(c) - 1)``.
+
+    The expansion is hand-coded for the three supported degrees; these are
+    the only finite-support polynomial kernels in the library.
+    """
+    m = pu.shape[0]
+    k_max = len(c) - 1
+    out = np.zeros((m, 2 * k_max + 1), dtype=np.float64)
+    if k_max == 0:  # uniform: constant c0
+        out[:, 0] = c[0]
+    elif k_max == 1:  # epanechnikov: c0 + c1 * ((x - pu)^2 + a)
+        bq = pu * pu + a
+        out[:, 0] = c[0] + c[1] * bq
+        out[:, 1] = -2.0 * c[1] * pu
+        out[:, 2] = c[1]
+    elif k_max == 2:  # quartic: c0 + c1*q + c2*q^2 with q = (x - pu)^2 + a
+        bq = pu * pu + a
+        out[:, 0] = c[0] + c[1] * bq + c[2] * bq * bq
+        out[:, 1] = -2.0 * pu * (c[1] + 2.0 * c[2] * bq)
+        out[:, 2] = c[1] + c[2] * (4.0 * pu * pu + 2.0 * bq)
+        out[:, 3] = -4.0 * c[2] * pu
+        out[:, 4] = c[2]
+    else:  # pragma: no cover - guarded by kde_sweep
+        raise ParameterError(f"unsupported polynomial degree {k_max}")
+    if not np.isscalar(w) or w != 1.0:
+        out *= np.asarray(w, dtype=np.float64).reshape(-1, 1)
+    return out
+
+
+def kde_sweep(problem: KDVProblem):
+    """Exact sweep-line KDV for polynomial finite-support kernels.
+
+    Raises :class:`~repro.errors.ParameterError` for kernels without a
+    squared-distance polynomial form (Gaussian etc.) — use the bound-based
+    or cutoff backends for those, as the paper's §2.4 discussion notes.
+    """
+    coeffs = problem.kernel.poly_coeffs(problem.bandwidth)
+    if coeffs is None:
+        raise ParameterError(
+            f"kernel {problem.kernel.name!r} is not polynomial in the squared "
+            "distance; the sweep-line backend supports uniform, epanechnikov "
+            "and quartic kernels"
+        )
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    deg = 2 * (coeffs.shape[0] - 1)
+
+    xs, ys = problem.pixel_centers()
+    dx, _ = problem.bbox.pixel_size(problem.nx, problem.ny)
+    nx, ny = problem.nx, problem.ny
+    b = problem.bandwidth
+    b2 = b * b
+
+    pts = problem.points
+    weights = problem.weights
+
+    # Sort points by y so each row's bandwidth band is a contiguous slice.
+    order = np.argsort(pts[:, 1], kind="stable")
+    sx = pts[order, 0]
+    sy = pts[order, 1]
+    sw = None if weights is None else weights[order]
+
+    x_mid = 0.5 * (xs[0] + xs[-1])
+    xc = xs - x_mid  # centred pixel coordinates
+    # Power matrix for vectorised polynomial evaluation: (nx, deg+1).
+    xpow = np.ones((nx, deg + 1), dtype=np.float64)
+    for k in range(1, deg + 1):
+        xpow[:, k] = xpow[:, k - 1] * xc
+
+    values = np.empty((nx, ny), dtype=np.float64)
+    lo = 0
+    hi = 0
+    n = sx.shape[0]
+    for j in range(ny):
+        y = ys[j]
+        # Advance the y-band [y - b, y + b] over the y-sorted points.
+        lo = np.searchsorted(sy, y - b, side="left")
+        hi = np.searchsorted(sy, y + b, side="right")
+        if lo >= hi:
+            values[:, j] = 0.0
+            continue
+        dyv = sy[lo:hi] - y
+        dy2 = dyv * dyv
+        inside = dy2 <= b2
+        if not inside.all():
+            dy2 = dy2[inside]
+        if dy2.size == 0:
+            values[:, j] = 0.0
+            continue
+        px = (sx[lo:hi][inside] if not inside.all() else sx[lo:hi]) - x_mid
+        w = 1.0 if sw is None else (sw[lo:hi][inside] if not inside.all() else sw[lo:hi])
+
+        # Active x-interval of each point: |x - px| <= rx.
+        rx = np.sqrt(b2 - dy2)
+        i_in = np.ceil((px - rx - xc[0]) / dx - 1e-12).astype(np.int64)
+        i_out = np.floor((px + rx - xc[0]) / dx + 1e-12).astype(np.int64) + 1
+        keep = (i_in < nx) & (i_out > 0) & (i_in < i_out)
+        if not keep.all():
+            i_in, i_out, px, dy2 = i_in[keep], i_out[keep], px[keep], dy2[keep]
+            if not np.isscalar(w):
+                w = w[keep]
+        if px.shape[0] == 0:
+            values[:, j] = 0.0
+            continue
+        np.clip(i_in, 0, nx, out=i_in)
+        np.clip(i_out, 0, nx, out=i_out)
+
+        point_coeffs = _expanded_coeffs(px, dy2, coeffs, w)
+
+        # Delta table: +coeffs at entry pixel, -coeffs at exit pixel;
+        # prefix-summing along x yields the active aggregate at every pixel.
+        delta = np.zeros((nx + 1, deg + 1), dtype=np.float64)
+        np.add.at(delta, i_in, point_coeffs)
+        np.subtract.at(delta, i_out, point_coeffs)
+        active = np.cumsum(delta[:nx], axis=0)
+
+        values[:, j] = np.einsum("ik,ik->i", active, xpow)
+    return problem.make_grid(values)

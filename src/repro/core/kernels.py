@@ -1,0 +1,276 @@
+"""Kernel functions (paper Table 2, plus the "future work" kernels of §2.4).
+
+Each kernel follows the paper's parameterisation: it is a function of the
+Euclidean distance ``dist(q, p)`` and a bandwidth ``b``.  The four Table 2
+kernels (uniform, Epanechnikov, quartic, Gaussian) are implemented exactly
+as printed; the triangular, cosine and exponential kernels cover the
+"other important kernel functions" the paper lists as future work.
+
+A kernel exposes:
+
+* ``evaluate(d, b)`` / ``evaluate_sq(d2, b)`` — vectorised values,
+* ``support_radius(b)`` — the cutoff beyond which the kernel is zero
+  (``inf`` for Gaussian/exponential),
+* ``integral(b)`` — the integral of the kernel over the plane, from which
+  the normalisation constant ``w`` of Equation 1 is derived,
+* ``poly_coeffs(b)`` — for finite-support kernels that are polynomials in
+  the *squared* distance (uniform, Epanechnikov, quartic), the coefficients
+  ``c_k`` such that ``K = sum_k c_k * (d^2)^k`` inside the support.  These
+  drive the sweep-line (computational sharing) backend, which is exactly
+  the class of kernels the paper says SLAM-style algorithms handle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._validation import check_positive
+from ..errors import ParameterError
+
+__all__ = [
+    "Kernel",
+    "UniformKernel",
+    "EpanechnikovKernel",
+    "QuarticKernel",
+    "GaussianKernel",
+    "TriangularKernel",
+    "CosineKernel",
+    "ExponentialKernel",
+    "get_kernel",
+    "KERNELS",
+]
+
+
+class Kernel(ABC):
+    """Base class for radial kernels ``K(q, p) = K(dist(q, p); b)``."""
+
+    #: Registry / lookup name.
+    name: str = ""
+    #: True when the kernel vanishes beyond a finite radius.
+    finite_support: bool = True
+
+    def evaluate(self, d, bandwidth: float) -> np.ndarray:
+        """Kernel value at distance(s) ``d`` with the given bandwidth."""
+        d = np.asarray(d, dtype=np.float64)
+        return self.evaluate_sq(d * d, bandwidth)
+
+    @abstractmethod
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        """Kernel value from *squared* distances (the fast path)."""
+
+    @abstractmethod
+    def support_radius(self, bandwidth: float) -> float:
+        """Distance beyond which the kernel is exactly zero (may be inf)."""
+
+    @abstractmethod
+    def integral(self, bandwidth: float) -> float:
+        """Integral of the kernel over the whole plane.
+
+        The Equation 1 normalisation constant for a probability density is
+        ``w = 1 / (n * integral(b))``.
+        """
+
+    def poly_coeffs(self, bandwidth: float) -> np.ndarray | None:
+        """Coefficients of K as a polynomial in d^2 inside the support.
+
+        Returns ``None`` for kernels that are not polynomial in the squared
+        distance (Gaussian, exponential, triangular, cosine); those cannot
+        use the sweep-line backend, matching the limitation the paper
+        highlights in §2.4.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class UniformKernel(Kernel):
+    """Table 2 uniform kernel: ``1/b`` inside the bandwidth disc."""
+
+    name = "uniform"
+    finite_support = True
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d2 = np.asarray(d2, dtype=np.float64)
+        return np.where(d2 <= b * b, 1.0 / b, 0.0)
+
+    def support_radius(self, bandwidth: float) -> float:
+        return check_positive(bandwidth, "bandwidth")
+
+    def integral(self, bandwidth: float) -> float:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.pi * b  # (1/b) * pi b^2
+
+    def poly_coeffs(self, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.array([1.0 / b])
+
+
+class EpanechnikovKernel(Kernel):
+    """Table 2 Epanechnikov kernel: ``1 - d^2/b^2`` inside the disc."""
+
+    name = "epanechnikov"
+    finite_support = True
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d2 = np.asarray(d2, dtype=np.float64)
+        vals = 1.0 - d2 / (b * b)
+        return np.where(d2 <= b * b, vals, 0.0)
+
+    def support_radius(self, bandwidth: float) -> float:
+        return check_positive(bandwidth, "bandwidth")
+
+    def integral(self, bandwidth: float) -> float:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.pi * b * b / 2.0
+
+    def poly_coeffs(self, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.array([1.0, -1.0 / (b * b)])
+
+
+class QuarticKernel(Kernel):
+    """Table 2 quartic (biweight) kernel: ``(1 - d^2/b^2)^2`` inside the disc."""
+
+    name = "quartic"
+    finite_support = True
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d2 = np.asarray(d2, dtype=np.float64)
+        u = 1.0 - d2 / (b * b)
+        return np.where(d2 <= b * b, u * u, 0.0)
+
+    def support_radius(self, bandwidth: float) -> float:
+        return check_positive(bandwidth, "bandwidth")
+
+    def integral(self, bandwidth: float) -> float:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.pi * b * b / 3.0
+
+    def poly_coeffs(self, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        b2 = b * b
+        return np.array([1.0, -2.0 / b2, 1.0 / (b2 * b2)])
+
+
+class GaussianKernel(Kernel):
+    """Table 2 Gaussian kernel: ``exp(-d^2/b^2)`` (infinite support).
+
+    Note the paper's convention puts ``b^2`` (not ``2 sigma^2``) in the
+    exponent; ``b = sqrt(2) * sigma`` relative to the statistics convention.
+    """
+
+    name = "gaussian"
+    finite_support = False
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d2 = np.asarray(d2, dtype=np.float64)
+        return np.exp(-d2 / (b * b))
+
+    def support_radius(self, bandwidth: float) -> float:
+        check_positive(bandwidth, "bandwidth")
+        return np.inf
+
+    def effective_radius(self, bandwidth: float, tail: float = 1e-12) -> float:
+        """Radius beyond which the kernel value drops below ``tail``."""
+        b = check_positive(bandwidth, "bandwidth")
+        return b * float(np.sqrt(-np.log(tail)))
+
+    def integral(self, bandwidth: float) -> float:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.pi * b * b
+
+
+class TriangularKernel(Kernel):
+    """Triangular kernel ``1 - d/b`` inside the disc (§2.4 extension)."""
+
+    name = "triangular"
+    finite_support = True
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d = np.sqrt(np.asarray(d2, dtype=np.float64))
+        return np.where(d <= b, 1.0 - d / b, 0.0)
+
+    def support_radius(self, bandwidth: float) -> float:
+        return check_positive(bandwidth, "bandwidth")
+
+    def integral(self, bandwidth: float) -> float:
+        b = check_positive(bandwidth, "bandwidth")
+        return np.pi * b * b / 3.0
+
+
+class CosineKernel(Kernel):
+    """Cosine kernel ``cos(pi d / (2 b))`` inside the disc (§2.4 extension)."""
+
+    name = "cosine"
+    finite_support = True
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d = np.sqrt(np.asarray(d2, dtype=np.float64))
+        return np.where(d <= b, np.cos(np.pi * d / (2.0 * b)), 0.0)
+
+    def support_radius(self, bandwidth: float) -> float:
+        return check_positive(bandwidth, "bandwidth")
+
+    def integral(self, bandwidth: float) -> float:
+        # 2 pi * int_0^b cos(pi r / 2b) r dr = 4 b^2 (1 - 2/pi)
+        b = check_positive(bandwidth, "bandwidth")
+        return 4.0 * b * b * (1.0 - 2.0 / np.pi)
+
+
+class ExponentialKernel(Kernel):
+    """Exponential kernel ``exp(-d/b)`` (infinite support, §2.4 extension)."""
+
+    name = "exponential"
+    finite_support = False
+
+    def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
+        b = check_positive(bandwidth, "bandwidth")
+        d = np.sqrt(np.asarray(d2, dtype=np.float64))
+        return np.exp(-d / b)
+
+    def support_radius(self, bandwidth: float) -> float:
+        check_positive(bandwidth, "bandwidth")
+        return np.inf
+
+    def effective_radius(self, bandwidth: float, tail: float = 1e-12) -> float:
+        """Radius beyond which the kernel value drops below ``tail``."""
+        b = check_positive(bandwidth, "bandwidth")
+        return b * float(-np.log(tail))
+
+    def integral(self, bandwidth: float) -> float:
+        b = check_positive(bandwidth, "bandwidth")
+        return 2.0 * np.pi * b * b
+
+
+KERNELS: dict[str, Kernel] = {
+    k.name: k
+    for k in (
+        UniformKernel(),
+        EpanechnikovKernel(),
+        QuarticKernel(),
+        GaussianKernel(),
+        TriangularKernel(),
+        CosineKernel(),
+        ExponentialKernel(),
+    )
+}
+
+
+def get_kernel(kernel: str | Kernel) -> Kernel:
+    """Resolve a kernel by name or pass an instance through."""
+    if isinstance(kernel, Kernel):
+        return kernel
+    try:
+        return KERNELS[kernel]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise ParameterError(f"unknown kernel {kernel!r}; available: {known}") from None

@@ -1,0 +1,55 @@
+"""K-function and its variants (paper §2.3): planar, network, spatiotemporal."""
+
+from .cross import CrossKFunctionPlot, cross_k_function, cross_k_function_plot
+from .envelope import (
+    GlobalEnvelopeResult,
+    KFunctionPlot,
+    global_envelope_test,
+    k_function_plot,
+)
+from .inhomogeneous import inhomogeneous_k, intensity_at_points
+from .local import LocalKResult, local_k_function
+from .network import (
+    NETWORK_K_METHODS,
+    NetworkKFunctionPlot,
+    network_k_function,
+    network_k_function_plot,
+    network_ripley_k,
+)
+from .pcf import pair_correlation
+from .planar import K_METHODS, border_ripley_k, k_function, l_function, ripley_k
+from .spacetime import (
+    ST_K_METHODS,
+    STKFunctionPlot,
+    st_k_function,
+    st_k_function_plot,
+)
+
+__all__ = [
+    "CrossKFunctionPlot",
+    "GlobalEnvelopeResult",
+    "global_envelope_test",
+    "KFunctionPlot",
+    "LocalKResult",
+    "cross_k_function",
+    "cross_k_function_plot",
+    "border_ripley_k",
+    "inhomogeneous_k",
+    "intensity_at_points",
+    "local_k_function",
+    "K_METHODS",
+    "NETWORK_K_METHODS",
+    "NetworkKFunctionPlot",
+    "STKFunctionPlot",
+    "ST_K_METHODS",
+    "k_function",
+    "k_function_plot",
+    "l_function",
+    "network_k_function",
+    "network_k_function_plot",
+    "network_ripley_k",
+    "pair_correlation",
+    "ripley_k",
+    "st_k_function",
+    "st_k_function_plot",
+]

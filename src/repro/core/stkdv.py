@@ -1,0 +1,182 @@
+"""Spatiotemporal kernel density visualisation (STKDV, paper §2.2, Figure 4).
+
+The spatiotemporal density at pixel ``q`` and time ``t`` is
+
+    F(q, t) = sum_i  K_s(dist(q, p_i); b_s) * K_t(|t - t_i|; b_t),
+
+a separable product of a spatial and a temporal kernel — the standard
+formulation of [41, 57, 69] the paper builds on.  The output is a stack of
+density frames, one per requested timestamp; Figure 4's two panels are two
+frames of such a stack.
+
+Backends:
+
+* ``naive`` — every frame weights *all* n points by the temporal kernel
+  and evaluates the O(XYn) sum: O(T * XY * n) total;
+* ``window`` — the sliding-window sharing of SWS [27]: points are sorted
+  by time once, each frame touches only the points inside its temporal
+  support via binary search, and the spatial pass uses the exact cutoff
+  scatter: O(T * (XY + n_window * patch)).
+
+Both are exact (up to the 1e-12 truncation of infinite kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_points, as_timestamps, check_positive
+from ..errors import ParameterError
+from ..geometry import BoundingBox
+from ..raster import DensityGrid
+from .kdv.base import KDVProblem
+from .kdv.gridcut import kde_gridcut
+from .kdv.naive import kde_naive
+from .kdv.sweep import kde_sweep
+from .kernels import Kernel, get_kernel
+
+__all__ = ["STKDVResult", "stkdv", "STKDV_METHODS"]
+
+STKDV_METHODS = ("auto", "naive", "window")
+
+
+@dataclass(frozen=True)
+class STKDVResult:
+    """A stack of density frames over a common window and pixel lattice."""
+
+    bbox: BoundingBox
+    times: np.ndarray
+    values: np.ndarray  # (nx, ny, T)
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.values.shape[2])
+
+    def frame(self, j: int) -> DensityGrid:
+        """Frame ``j`` as a standalone density grid."""
+        return DensityGrid(self.bbox, self.values[:, :, j])
+
+    def frame_at(self, t: float) -> DensityGrid:
+        """The frame whose timestamp is closest to ``t``."""
+        j = int(np.argmin(np.abs(self.times - t)))
+        return self.frame(j)
+
+    def hotspot_track(self) -> np.ndarray:
+        """(T, 2) coordinates of the densest pixel in each frame.
+
+        The movement of this track across frames is Figure 4's message:
+        outbreak regions change with time.
+        """
+        return np.array([self.frame(j).argmax_coords() for j in range(self.n_frames)])
+
+    def total_mass(self) -> np.ndarray:
+        """Per-frame sum of the raw kernel mass (case-load proxy)."""
+        return self.values.sum(axis=(0, 1))
+
+
+def _temporal_cutoff(kernel: Kernel, bandwidth: float) -> float:
+    radius = kernel.support_radius(bandwidth)
+    if np.isfinite(radius):
+        return float(radius)
+    return float(kernel.effective_radius(bandwidth))
+
+
+def stkdv(
+    points,
+    times,
+    bbox: BoundingBox,
+    size: tuple[int, int],
+    frame_times,
+    bandwidth_space: float,
+    bandwidth_time: float,
+    kernel_space: str | Kernel = "quartic",
+    kernel_time: str | Kernel = "epanechnikov",
+    method: str = "auto",
+    spatial_method: str = "auto",
+) -> STKDVResult:
+    """Spatiotemporal KDV over the given frame timestamps.
+
+    Parameters
+    ----------
+    points, times:
+        Event locations and timestamps.
+    bbox, size:
+        Window and per-frame pixel resolution (X x Y).
+    frame_times:
+        Timestamps at which density frames are evaluated.
+    bandwidth_space, bandwidth_time:
+        The spatial ``b_s`` and temporal ``b_t`` bandwidths.
+    kernel_space, kernel_time:
+        Spatial and temporal kernels (any library kernel; the temporal one
+        is applied to ``|t - t_i|``).
+    method:
+        ``naive``, ``window``, or ``auto`` (window).
+    spatial_method:
+        Spatial pass of the ``window`` backend: ``"grid"`` (cutoff
+        scatter), ``"sweep"`` (sweep line — polynomial spatial kernels
+        only), or ``"auto"`` (sweep when the kernel supports it and the
+        bandwidth spans at least two pixels; grid otherwise).
+    """
+    pts = as_points(points)
+    ts_vals = as_timestamps(times, pts.shape[0])
+    frames = np.asarray(frame_times, dtype=np.float64).ravel()
+    if frames.size == 0:
+        raise ParameterError("frame_times must contain at least one timestamp")
+    b_s = check_positive(bandwidth_space, "bandwidth_space")
+    b_t = check_positive(bandwidth_time, "bandwidth_time")
+    k_s = get_kernel(kernel_space)
+    k_t = get_kernel(kernel_time)
+    nx, ny = int(size[0]), int(size[1])
+
+    if method == "auto":
+        method = "window"
+    if method not in ("naive", "window"):
+        raise ParameterError(
+            f"unknown STKDV method {method!r}; available: {', '.join(STKDV_METHODS)}"
+        )
+    if spatial_method == "auto":
+        dx, dy = bbox.pixel_size(nx, ny)
+        use_sweep = (
+            k_s.poly_coeffs(b_s) is not None and b_s >= 2.0 * max(dx, dy)
+        )
+        spatial_method = "sweep" if use_sweep else "grid"
+    if spatial_method not in ("grid", "sweep"):
+        raise ParameterError(
+            f"spatial_method must be 'grid' or 'sweep', got {spatial_method!r}"
+        )
+    spatial_pass = kde_sweep if spatial_method == "sweep" else kde_gridcut
+
+    values = np.zeros((nx, ny, frames.size), dtype=np.float64)
+
+    if method == "naive":
+        for j, t in enumerate(frames):
+            w = k_t.evaluate(np.abs(ts_vals - t), b_t)
+            problem = KDVProblem(pts, bbox, (nx, ny), b_s, k_s, weights=w)
+            values[:, :, j] = kde_naive(problem).values
+    else:
+        cutoff = _temporal_cutoff(k_t, b_t)
+        order = np.argsort(ts_vals, kind="stable")
+        sorted_pts = pts[order]
+        sorted_ts = ts_vals[order]
+        for j, t in enumerate(frames):
+            lo = np.searchsorted(sorted_ts, t - cutoff, side="left")
+            hi = np.searchsorted(sorted_ts, t + cutoff, side="right")
+            if lo >= hi:
+                continue  # no events inside the temporal support
+            w = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
+            active = w > 0.0
+            if not active.any():
+                continue
+            problem = KDVProblem(
+                sorted_pts[lo:hi][active],
+                bbox,
+                (nx, ny),
+                b_s,
+                k_s,
+                weights=w[active],
+            )
+            values[:, :, j] = spatial_pass(problem).values
+
+    return STKDVResult(bbox=bbox, times=frames, values=values)

@@ -1,0 +1,33 @@
+"""Data substrate: point-process generators, dataset stand-ins, CSV IO."""
+
+from .datasets import (
+    SpatialDataset,
+    SpatioTemporalDataset,
+    chicago_crime,
+    hk_covid,
+    network_accidents,
+    nyc_taxi,
+)
+from .hawkes import hawkes_st
+from .io import read_dataset_csv, read_points_csv, write_csv
+from .processes import csr, inhibited, inhomogeneous, matern, mixture, poisson, thomas
+
+__all__ = [
+    "SpatialDataset",
+    "SpatioTemporalDataset",
+    "chicago_crime",
+    "csr",
+    "hawkes_st",
+    "hk_covid",
+    "inhibited",
+    "inhomogeneous",
+    "matern",
+    "mixture",
+    "network_accidents",
+    "nyc_taxi",
+    "poisson",
+    "read_dataset_csv",
+    "read_points_csv",
+    "thomas",
+    "write_csv",
+]

@@ -1,0 +1,318 @@
+"""Synthetic stand-ins for the paper's real datasets.
+
+The tutorial's demonstrations use the Hong Kong COVID-19 dataset [7], the
+Chicago crime dataset [3] (7.68 M points) and the NYC taxi dataset [9]
+(165 M points).  None of those are available offline, so this module
+provides parametric generators that reproduce the *statistical features*
+each experiment depends on (see DESIGN.md, "Substitutions"):
+
+* :func:`hk_covid` — a two-wave spatiotemporal cluster process: wave 1 has
+  a single outbreak region, wave 2 has two (paper Figure 4).
+* :func:`chicago_crime` — street-aligned clustered crime events at any
+  requested size.
+* :func:`nyc_taxi` — anisotropic pickup hotspots plus diffuse background,
+  with a daily-periodic time component.
+* :func:`network_accidents` — events concentrated on a subset of a road
+  network's edges (the NKDV / network-K workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_points, as_timestamps, check_positive, resolve_rng
+from ..errors import ParameterError
+from ..geometry import BoundingBox
+from ..network import NetworkPosition, RoadNetwork
+from . import processes
+
+__all__ = [
+    "SpatialDataset",
+    "SpatioTemporalDataset",
+    "hk_covid",
+    "chicago_crime",
+    "nyc_taxi",
+    "network_accidents",
+]
+
+
+@dataclass(frozen=True)
+class SpatialDataset:
+    """A named point set with its study window."""
+
+    name: str
+    points: np.ndarray
+    bbox: BoundingBox
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", as_points(self.points, name="points"))
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    def subsample(self, n: int, seed=None) -> "SpatialDataset":
+        """A uniform random subset of size ``n`` (without replacement)."""
+        n = int(n)
+        if not (0 < n <= self.n):
+            raise ParameterError(f"subsample size must be in (0, {self.n}], got {n}")
+        rng = resolve_rng(seed)
+        idx = rng.choice(self.n, size=n, replace=False)
+        return SpatialDataset(f"{self.name}[n={n}]", self.points[idx], self.bbox)
+
+
+@dataclass(frozen=True)
+class SpatioTemporalDataset:
+    """A named point set with per-event timestamps and a study window."""
+
+    name: str
+    points: np.ndarray
+    times: np.ndarray
+    bbox: BoundingBox
+
+    def __post_init__(self) -> None:
+        pts = as_points(self.points, name="points")
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(
+            self, "times", as_timestamps(self.times, pts.shape[0], name="times")
+        )
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def time_range(self) -> tuple[float, float]:
+        return float(self.times.min()), float(self.times.max())
+
+    def spatial(self) -> SpatialDataset:
+        """Drop the time component."""
+        return SpatialDataset(self.name, self.points, self.bbox)
+
+    def slice_time(self, t_lo: float, t_hi: float) -> SpatialDataset:
+        """Events with ``t_lo <= t < t_hi`` as a spatial dataset."""
+        if not t_lo < t_hi:
+            raise ParameterError(f"need t_lo < t_hi, got [{t_lo}, {t_hi})")
+        mask = (self.times >= t_lo) & (self.times < t_hi)
+        if not mask.any():
+            raise ParameterError(f"no events in time window [{t_lo}, {t_hi})")
+        return SpatialDataset(
+            f"{self.name}[t in [{t_lo:g}, {t_hi:g})]", self.points[mask], self.bbox
+        )
+
+
+# ---------------------------------------------------------------------------
+# Hong Kong COVID-19 stand-in (Figures 1, 4, 5)
+# ---------------------------------------------------------------------------
+
+_HK_BBOX = BoundingBox(0.0, 0.0, 50.0, 30.0)  # ~ HK extent in km, planar
+_WAVE1_CENTERS = np.array([[18.0, 16.0]])  # one outbreak region (Dec 2020)
+_WAVE2_CENTERS = np.array([[14.0, 17.0], [34.0, 11.0]])  # two regions (Jan 2022)
+
+
+def hk_covid(
+    n_wave1: int = 1500,
+    n_wave2: int = 2500,
+    sigma: float = 1.8,
+    background_fraction: float = 0.15,
+    seed: int | None = 7,
+) -> SpatioTemporalDataset:
+    """Two-wave COVID-style outbreak over an HK-sized window.
+
+    Wave 1 (times in [0, 100)) clusters around a single region; wave 2
+    (times in [100, 200)) clusters around two regions, reproducing the
+    Figure 4 contrast.  A ``background_fraction`` of each wave is uniform
+    community spread.
+    """
+    n_wave1 = int(n_wave1)
+    n_wave2 = int(n_wave2)
+    if n_wave1 < 1 or n_wave2 < 1:
+        raise ParameterError("both waves need at least one case")
+    sigma = check_positive(sigma, "sigma")
+    if not (0.0 <= background_fraction < 1.0):
+        raise ParameterError(
+            f"background_fraction must be in [0, 1), got {background_fraction}"
+        )
+    rng = resolve_rng(seed)
+
+    def wave(n: int, centers: np.ndarray, t_lo: float, t_hi: float):
+        n_bg = int(round(n * background_fraction))
+        n_cl = n - n_bg
+        cluster_pts = processes.thomas(
+            n_cl, centers.shape[0], sigma, _HK_BBOX, seed=rng, centers=centers
+        )
+        bg_pts = processes.csr(n_bg, _HK_BBOX, seed=rng)
+        pts = np.vstack([cluster_pts, bg_pts])
+        # Case counts rise then fall within a wave: Beta(2, 2)-shaped times.
+        times = t_lo + (t_hi - t_lo) * rng.beta(2.0, 2.0, size=n)
+        return pts, times
+
+    pts1, t1 = wave(n_wave1, _WAVE1_CENTERS, 0.0, 100.0)
+    pts2, t2 = wave(n_wave2, _WAVE2_CENTERS, 100.0, 200.0)
+    points = np.vstack([pts1, pts2])
+    times = np.concatenate([t1, t2])
+    order = np.argsort(times)
+    return SpatioTemporalDataset("hk_covid", points[order], times[order], _HK_BBOX)
+
+
+# ---------------------------------------------------------------------------
+# Chicago crime stand-in (large clustered workload)
+# ---------------------------------------------------------------------------
+
+_CHICAGO_BBOX = BoundingBox(0.0, 0.0, 30.0, 40.0)  # ~ city extent in km
+
+
+def chicago_crime(
+    n: int = 10_000,
+    n_hotspots: int = 12,
+    sigma: float = 1.2,
+    street_spacing: float = 0.2,
+    street_fraction: float = 0.7,
+    seed: int | None = 11,
+) -> SpatialDataset:
+    """Clustered crime events, a fraction of which snap to a street grid.
+
+    The snap models geocoding-to-address: ``street_fraction`` of the events
+    have one coordinate rounded to the nearest street line, which produces
+    the banded structure typical of real crime data.
+    """
+    n = int(n)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    sigma = check_positive(sigma, "sigma")
+    street_spacing = check_positive(street_spacing, "street_spacing")
+    if not (0.0 <= street_fraction <= 1.0):
+        raise ParameterError(f"street_fraction must be in [0, 1], got {street_fraction}")
+    rng = resolve_rng(seed)
+
+    pts = processes.thomas(n, int(n_hotspots), sigma, _CHICAGO_BBOX, seed=rng)
+    snap = rng.uniform(size=n) < street_fraction
+    axis = rng.integers(0, 2, size=n)  # snap x (avenue) or y (street)
+    for dim in (0, 1):
+        sel = snap & (axis == dim)
+        pts[sel, dim] = np.round(pts[sel, dim] / street_spacing) * street_spacing
+    pts = _CHICAGO_BBOX.clip(pts)
+    if pts.shape[0] < n:  # snapping cannot push points out, but stay safe
+        extra = processes.csr(n - pts.shape[0], _CHICAGO_BBOX, seed=rng)
+        pts = np.vstack([pts, extra])
+    return SpatialDataset("chicago_crime", pts, _CHICAGO_BBOX)
+
+
+# ---------------------------------------------------------------------------
+# NYC taxi stand-in (very large mixed workload with time)
+# ---------------------------------------------------------------------------
+
+_NYC_BBOX = BoundingBox(0.0, 0.0, 40.0, 40.0)
+_NYC_HOTSPOTS = np.array(
+    [
+        # (cx, cy, sx, sy, weight): downtown, midtown, two airports.
+        [12.0, 14.0, 1.0, 2.5, 0.35],
+        [13.5, 20.0, 1.2, 2.0, 0.30],
+        [30.0, 16.0, 0.8, 0.8, 0.10],
+        [24.0, 30.0, 0.9, 0.9, 0.10],
+    ]
+)
+
+
+def nyc_taxi(
+    n: int = 20_000,
+    background_fraction: float = 0.15,
+    days: float = 7.0,
+    seed: int | None = 13,
+) -> SpatioTemporalDataset:
+    """Taxi-pickup style data: anisotropic hotspots + uniform background.
+
+    Times follow a daily double-peak (rush hour) profile over ``days`` days
+    measured in hours, so temporal tools see realistic periodic structure.
+    """
+    n = int(n)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if not (0.0 <= background_fraction < 1.0):
+        raise ParameterError(
+            f"background_fraction must be in [0, 1), got {background_fraction}"
+        )
+    days = check_positive(days, "days")
+    rng = resolve_rng(seed)
+
+    n_bg = int(round(n * background_fraction))
+    n_hot = n - n_bg
+    weights = _NYC_HOTSPOTS[:, 4] / _NYC_HOTSPOTS[:, 4].sum()
+
+    pts = np.empty((n_hot, 2), dtype=np.float64)
+    filled = 0
+    while filled < n_hot:
+        need = n_hot - filled
+        comp = rng.choice(_NYC_HOTSPOTS.shape[0], size=need, p=weights)
+        cx, cy = _NYC_HOTSPOTS[comp, 0], _NYC_HOTSPOTS[comp, 1]
+        sx, sy = _NYC_HOTSPOTS[comp, 2], _NYC_HOTSPOTS[comp, 3]
+        cand = np.column_stack(
+            [rng.normal(cx, sx), rng.normal(cy, sy)]
+        )
+        kept = cand[_NYC_BBOX.contains(cand)]
+        pts[filled:filled + kept.shape[0]] = kept
+        filled += kept.shape[0]
+    bg = processes.csr(n_bg, _NYC_BBOX, seed=rng)
+    points = np.vstack([pts, bg])
+
+    # Daily double peak at 8h and 18h plus a flat base load.
+    day = rng.integers(0, int(np.ceil(days)), size=n).astype(np.float64)
+    mode = rng.uniform(size=n)
+    hour = np.where(
+        mode < 0.4,
+        rng.normal(8.0, 1.5, size=n),
+        np.where(mode < 0.8, rng.normal(18.0, 2.0, size=n), rng.uniform(0.0, 24.0, size=n)),
+    )
+    times = np.clip(day * 24.0 + np.mod(hour, 24.0), 0.0, days * 24.0)
+
+    order = np.argsort(times)
+    return SpatioTemporalDataset("nyc_taxi", points[order], times[order], _NYC_BBOX)
+
+
+# ---------------------------------------------------------------------------
+# Network events (NKDV / network K-function workload)
+# ---------------------------------------------------------------------------
+
+def network_accidents(
+    network: RoadNetwork,
+    n: int,
+    hotspot_edges=None,
+    hotspot_fraction: float = 0.8,
+    seed: int | None = 17,
+) -> list[NetworkPosition]:
+    """Accident-style events on a road network.
+
+    ``hotspot_fraction`` of the events land (uniformly by length) on the
+    ``hotspot_edges``; the rest are uniform over the whole network.  With
+    ``hotspot_edges=None`` a random 10% of edges become hotspots.
+    """
+    n = int(n)
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if not (0.0 <= hotspot_fraction <= 1.0):
+        raise ParameterError(
+            f"hotspot_fraction must be in [0, 1], got {hotspot_fraction}"
+        )
+    rng = resolve_rng(seed)
+
+    if hotspot_edges is None:
+        k = max(1, network.n_edges // 10)
+        hotspot_edges = rng.choice(network.n_edges, size=k, replace=False)
+    hotspot_edges = np.asarray(hotspot_edges, dtype=np.int64).ravel()
+    if hotspot_edges.size == 0:
+        raise ParameterError("hotspot_edges must not be empty")
+    if hotspot_edges.min() < 0 or hotspot_edges.max() >= network.n_edges:
+        raise ParameterError("hotspot_edges references an edge outside the network")
+
+    n_hot = int(round(n * hotspot_fraction))
+    n_bg = n - n_hot
+
+    hot_lengths = network.edge_lengths[hotspot_edges]
+    probs = hot_lengths / hot_lengths.sum()
+    chosen = rng.choice(hotspot_edges, size=n_hot, p=probs)
+    offsets = rng.uniform(size=n_hot) * network.edge_lengths[chosen]
+    events = [NetworkPosition(int(e), float(o)) for e, o in zip(chosen, offsets)]
+    events.extend(network.sample_positions(n_bg, rng))
+    return events

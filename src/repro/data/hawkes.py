@@ -1,0 +1,111 @@
+"""Self-exciting (Hawkes) spatiotemporal process generator.
+
+The paper's introduction cites self-exciting spatio-temporal point
+processes [82] as the model family behind crime contagion analysis.  This
+generator produces epidemic-style data by direct branching simulation:
+
+* **immigrants** arrive as a homogeneous Poisson process in space-time
+  with rate ``mu`` (per unit area per unit time);
+* every event spawns ``Poisson(alpha)`` **offspring** (``alpha < 1`` keeps
+  the cascade subcritical), each delayed by ``Exponential(beta)`` in time
+  and displaced by a Gaussian of scale ``sigma`` in space.
+
+The result exhibits genuine space-time *interaction*: shuffling the
+timestamps destroys the clustering, which is exactly what the
+spatiotemporal K-function's permutation null (``null="permute"``) detects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive, resolve_rng
+from ..errors import ParameterError
+from ..geometry import BoundingBox
+
+__all__ = ["hawkes_st"]
+
+
+def hawkes_st(
+    bbox: BoundingBox,
+    horizon: float,
+    mu: float,
+    alpha: float = 0.5,
+    beta: float = 0.1,
+    sigma: float = 0.5,
+    seed=None,
+    max_events: int = 1_000_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate a spatiotemporal Hawkes process on ``bbox`` x [0, horizon).
+
+    Parameters
+    ----------
+    bbox:
+        Spatial window (offspring outside it are discarded — boundary
+        emigration).
+    horizon:
+        Temporal window length; offspring past the horizon are discarded.
+    mu:
+        Immigrant intensity per unit area per unit time.
+    alpha:
+        Mean offspring per event (branching ratio); must be < 1 for the
+        cascade to stay finite in expectation.
+    beta:
+        Rate of the exponential offspring delay (mean delay ``1 / beta``).
+    sigma:
+        Spatial offspring displacement scale.
+    max_events:
+        Hard cap guarding against runaway cascades.
+
+    Returns
+    -------
+    ``(points, times)`` sorted by time.
+    """
+    horizon = check_positive(horizon, "horizon")
+    mu = check_positive(mu, "mu")
+    alpha = check_non_negative(alpha, "alpha")
+    if alpha >= 1.0:
+        raise ParameterError(
+            f"alpha must be < 1 for a subcritical cascade, got {alpha}"
+        )
+    beta = check_positive(beta, "beta")
+    sigma = check_positive(sigma, "sigma")
+    rng = resolve_rng(seed)
+
+    n_immigrants = int(rng.poisson(mu * bbox.area * horizon))
+    points = [bbox.sample_uniform(n_immigrants, rng)]
+    times = [rng.uniform(0.0, horizon, size=n_immigrants)]
+
+    # Breadth-first branching: each generation spawns the next.
+    gen_pts = points[0]
+    gen_times = times[0]
+    total = n_immigrants
+    while gen_pts.shape[0] > 0:
+        n_children = rng.poisson(alpha, size=gen_pts.shape[0])
+        total_children = int(n_children.sum())
+        if total_children == 0:
+            break
+        total += total_children
+        if total > max_events:
+            raise ParameterError(
+                f"Hawkes cascade exceeded max_events={max_events}; "
+                "reduce mu/alpha or the horizon"
+            )
+        parent_idx = np.repeat(np.arange(gen_pts.shape[0]), n_children)
+        child_times = gen_times[parent_idx] + rng.exponential(
+            1.0 / beta, size=total_children
+        )
+        child_pts = gen_pts[parent_idx] + rng.normal(
+            scale=sigma, size=(total_children, 2)
+        )
+        keep = (child_times < horizon) & bbox.contains(child_pts)
+        gen_pts = child_pts[keep]
+        gen_times = child_times[keep]
+        if gen_pts.shape[0]:
+            points.append(gen_pts)
+            times.append(gen_times)
+
+    all_pts = np.vstack(points) if points else np.empty((0, 2))
+    all_times = np.concatenate(times) if times else np.empty(0)
+    order = np.argsort(all_times)
+    return all_pts[order], all_times[order]

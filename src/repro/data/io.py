@@ -1,0 +1,101 @@
+"""CSV import/export for point datasets.
+
+The deployed systems the paper describes (COVID hotspot maps, LIBKDV) all
+ingest flat CSV files of event coordinates, optionally with a timestamp
+column.  This module reads and writes that format with plain ``csv`` — no
+pandas dependency — and validates on the way in.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .._validation import as_points, as_timestamps
+from ..errors import DataError
+from ..geometry import BoundingBox
+from .datasets import SpatialDataset, SpatioTemporalDataset
+
+__all__ = ["write_csv", "read_points_csv", "read_dataset_csv"]
+
+
+def write_csv(path, points, times=None, header: bool = True) -> None:
+    """Write points (and optional timestamps) to ``path`` as CSV.
+
+    Columns are ``x,y`` or ``x,y,t``.
+    """
+    pts = as_points(points)
+    if times is not None:
+        times = as_timestamps(times, pts.shape[0])
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        if header:
+            writer.writerow(["x", "y"] if times is None else ["x", "y", "t"])
+        if times is None:
+            writer.writerows((repr(float(x)), repr(float(y))) for x, y in pts)
+        else:
+            writer.writerows(
+                (repr(float(x)), repr(float(y)), repr(float(t)))
+                for (x, y), t in zip(pts, times)
+            )
+
+
+def read_points_csv(path) -> tuple[np.ndarray, np.ndarray | None]:
+    """Read ``(points, times)`` from a CSV written by :func:`write_csv`.
+
+    ``times`` is ``None`` when the file has only two columns.  A header row
+    is detected automatically (any non-numeric first row is skipped).
+    """
+    path = Path(path)
+    rows: list[list[str]] = []
+    with path.open(newline="") as fh:
+        for row in csv.reader(fh):
+            if row:
+                rows.append(row)
+    if not rows:
+        raise DataError(f"{path} is empty")
+
+    def parse(row: list[str]) -> list[float] | None:
+        try:
+            return [float(v) for v in row]
+        except ValueError:
+            return None
+
+    start = 0
+    if parse(rows[0]) is None:
+        start = 1  # header
+    parsed = []
+    for i, row in enumerate(rows[start:], start=start + 1):
+        values = parse(row)
+        if values is None:
+            raise DataError(f"{path}:{i}: non-numeric row {row!r}")
+        if len(values) not in (2, 3):
+            raise DataError(f"{path}:{i}: expected 2 or 3 columns, got {len(values)}")
+        parsed.append(values)
+    if not parsed:
+        raise DataError(f"{path} contains a header but no data rows")
+    widths = {len(v) for v in parsed}
+    if len(widths) != 1:
+        raise DataError(f"{path} mixes 2- and 3-column rows")
+
+    arr = np.asarray(parsed, dtype=np.float64)
+    points = as_points(arr[:, :2])
+    times = arr[:, 2] if arr.shape[1] == 3 else None
+    return points, times
+
+
+def read_dataset_csv(path, name: str | None = None, margin: float = 0.0):
+    """Read a CSV into a :class:`SpatialDataset` or :class:`SpatioTemporalDataset`.
+
+    The study window defaults to the tight bounding box of the points,
+    padded by ``margin``.
+    """
+    points, times = read_points_csv(path)
+    bbox = BoundingBox.of_points(points, margin=margin)
+    name = name if name is not None else Path(path).stem
+    if times is None:
+        return SpatialDataset(name, points, bbox)
+    return SpatioTemporalDataset(name, points, times, bbox)

@@ -1,0 +1,23 @@
+"""Planar geometry substrate: bounding boxes and distance computations."""
+
+from .bbox import BoundingBox
+from .polygon import Polygon
+from .distance import (
+    EARTH_RADIUS_M,
+    distances,
+    haversine,
+    iter_pairwise_squared,
+    pairwise_distances,
+    squared_distances,
+)
+
+__all__ = [
+    "BoundingBox",
+    "Polygon",
+    "EARTH_RADIUS_M",
+    "distances",
+    "haversine",
+    "iter_pairwise_squared",
+    "pairwise_distances",
+    "squared_distances",
+]

@@ -1,0 +1,20 @@
+"""Spatial index substrate: uniform grid, kd-tree, and ball-tree.
+
+All three structures are implemented from scratch (the paper's
+range-query-based methods cite kd-trees [21], ball-trees [71] and uniform
+grids as the standard carriers).  They expose a common core:
+
+* ``range_indices(center, radius)`` / ``range_count(center, radius)``
+* ``neighbor_distances(center, radius)`` (grid, kd-tree)
+* ``count_within_thresholds(queries, thresholds)`` (grid, kd-tree) —
+  multi-threshold batching for K-function plots
+* node-level traversal with distance bounds (kd-tree, ball-tree) — carrier
+  for the bound-based KDV refinement.
+"""
+
+from .balltree import BallTree
+from .grid import GridIndex
+from .kdtree import KDTree
+from .rangetree import RangeTree
+
+__all__ = ["BallTree", "GridIndex", "KDTree", "RangeTree"]

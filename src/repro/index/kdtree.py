@@ -1,0 +1,280 @@
+"""A 2-d kd-tree built from scratch.
+
+The tree supports the three access patterns the analytics layer needs:
+
+* **range queries / range counts** for the K-function backends,
+* **k-nearest-neighbour queries** for IDW and kriging neighbourhoods,
+* **node-level traversal with distance bounds** for the bound-based KDV
+  (QUAD/KARL-style function approximation), which needs, for any node, the
+  minimum and maximum distance from a query to the node's bounding box and
+  the number of points below the node.
+
+Nodes are stored in flat NumPy arrays (structure-of-arrays) and points are
+reordered once at build time, so leaf scans are contiguous slices.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .._validation import as_points, check_positive
+from ..errors import ParameterError
+
+__all__ = ["KDTree"]
+
+_NO_CHILD = -1
+
+
+class KDTree:
+    """Median-split 2-d kd-tree.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` coordinates.
+    leaf_size:
+        Maximum number of points in a leaf; smaller leaves mean deeper trees
+        (better pruning, more overhead).  16-64 is a good range.
+    """
+
+    def __init__(self, points, leaf_size: int = 32):
+        self.points = as_points(points)
+        leaf_size = int(leaf_size)
+        if leaf_size < 1:
+            raise ParameterError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.leaf_size = leaf_size
+
+        n = self.points.shape[0]
+        self.indices = np.arange(n, dtype=np.int64)
+
+        # Node arrays, grown as python lists during the build.
+        starts: list[int] = []
+        stops: list[int] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        mins: list[np.ndarray] = []
+        maxs: list[np.ndarray] = []
+
+        # Iterative build with an explicit stack to avoid recursion limits.
+        # Each stack entry: (start, stop, node_slot); node_slot == -1 means
+        # "append a fresh node", otherwise fill in the reserved child slot.
+        pts = self.points
+        idx = self.indices
+
+        def new_node(start: int, stop: int) -> int:
+            node = len(starts)
+            starts.append(start)
+            stops.append(stop)
+            lefts.append(_NO_CHILD)
+            rights.append(_NO_CHILD)
+            block = pts[idx[start:stop]]
+            mins.append(block.min(axis=0))
+            maxs.append(block.max(axis=0))
+            return node
+
+        root = new_node(0, n)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            start, stop = starts[node], stops[node]
+            count = stop - start
+            if count <= self.leaf_size:
+                continue
+            extent = maxs[node] - mins[node]
+            dim = int(np.argmax(extent))
+            if extent[dim] == 0.0:
+                continue  # all points identical: keep as a leaf
+            mid = start + count // 2
+            seg = idx[start:stop]
+            part = np.argpartition(pts[seg, dim], mid - start)
+            idx[start:stop] = seg[part]
+            left = new_node(start, mid)
+            right = new_node(mid, stop)
+            lefts[node] = left
+            rights[node] = right
+            stack.append(left)
+            stack.append(right)
+
+        self.node_start = np.asarray(starts, dtype=np.int64)
+        self.node_stop = np.asarray(stops, dtype=np.int64)
+        self.node_left = np.asarray(lefts, dtype=np.int64)
+        self.node_right = np.asarray(rights, dtype=np.int64)
+        self.node_min = np.asarray(mins, dtype=np.float64)
+        self.node_max = np.asarray(maxs, dtype=np.float64)
+        self._sorted_points = self.points[self.indices]
+
+    # -- node-level API (used by bound-based KDV) ---------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.node_start.shape[0])
+
+    def node_count(self, node: int) -> int:
+        """Number of points stored under ``node``."""
+        return int(self.node_stop[node] - self.node_start[node])
+
+    def is_leaf(self, node: int) -> bool:
+        return self.node_left[node] == _NO_CHILD
+
+    def children(self, node: int) -> tuple[int, int]:
+        return int(self.node_left[node]), int(self.node_right[node])
+
+    def node_points(self, node: int) -> np.ndarray:
+        """Coordinates of the points under ``node`` (contiguous view)."""
+        return self._sorted_points[self.node_start[node]:self.node_stop[node]]
+
+    def node_point_indices(self, node: int) -> np.ndarray:
+        """Original indices of the points under ``node``."""
+        return self.indices[self.node_start[node]:self.node_stop[node]]
+
+    def node_bounds(self, node: int, x: float, y: float) -> tuple[float, float]:
+        """(min, max) Euclidean distance from ``(x, y)`` to node's bbox points.
+
+        The minimum is the distance to the bounding rectangle; the maximum is
+        the distance to its farthest corner.  Both bound the distance to any
+        point stored under the node.
+        """
+        nmin = self.node_min[node]
+        nmax = self.node_max[node]
+        dx_min = max(nmin[0] - x, 0.0, x - nmax[0])
+        dy_min = max(nmin[1] - y, 0.0, y - nmax[1])
+        dx_max = max(x - nmin[0], nmax[0] - x)
+        dy_max = max(y - nmin[1], nmax[1] - y)
+        return float(np.hypot(dx_min, dy_min)), float(np.hypot(dx_max, dy_max))
+
+    # -- range queries -------------------------------------------------------
+
+    def _range_positions(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Positions (into the reordered array) of points within ``radius``."""
+        r2 = radius * radius
+        hits: list[np.ndarray] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            dmin, dmax = self.node_bounds(node, x, y)
+            if dmin > radius:
+                continue
+            start, stop = self.node_start[node], self.node_stop[node]
+            if dmax <= radius:
+                hits.append(np.arange(start, stop))
+                continue
+            if self.is_leaf(node):
+                block = self._sorted_points[start:stop]
+                d2 = (block[:, 0] - x) ** 2 + (block[:, 1] - y) ** 2
+                sel = np.flatnonzero(d2 <= r2) + start
+                if sel.size:
+                    hits.append(sel)
+                continue
+            left, right = self.children(node)
+            stack.append(left)
+            stack.append(right)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    def range_indices(self, center, radius: float) -> np.ndarray:
+        """Original indices of points within ``radius`` of ``center``."""
+        radius = check_positive(radius, "radius")
+        pos = self._range_positions(float(center[0]), float(center[1]), radius)
+        return self.indices[pos]
+
+    def range_count(self, center, radius: float) -> int:
+        """Number of points within ``radius``; whole-node hits are O(1)."""
+        radius = check_positive(radius, "radius")
+        x, y = float(center[0]), float(center[1])
+        r2 = radius * radius
+        total = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            dmin, dmax = self.node_bounds(node, x, y)
+            if dmin > radius:
+                continue
+            if dmax <= radius:
+                total += self.node_count(node)
+                continue
+            if self.is_leaf(node):
+                block = self.node_points(node)
+                d2 = (block[:, 0] - x) ** 2 + (block[:, 1] - y) ** 2
+                total += int(np.count_nonzero(d2 <= r2))
+                continue
+            left, right = self.children(node)
+            stack.append(left)
+            stack.append(right)
+        return total
+
+    def neighbor_distances(self, center, radius: float) -> np.ndarray:
+        """Unsorted distances to every point within ``radius`` of ``center``."""
+        radius = check_positive(radius, "radius")
+        x, y = float(center[0]), float(center[1])
+        pos = self._range_positions(x, y, radius)
+        if pos.size == 0:
+            return np.empty(0, dtype=np.float64)
+        block = self._sorted_points[pos]
+        return np.sqrt((block[:, 0] - x) ** 2 + (block[:, 1] - y) ** 2)
+
+    def count_within_thresholds(self, queries, thresholds) -> np.ndarray:
+        """(nq, nt) range counts at many sorted radii; one traversal each."""
+        q = as_points(queries, name="queries", allow_empty=True)
+        ts = np.asarray(thresholds, dtype=np.float64).ravel()
+        if ts.size == 0:
+            raise ParameterError("thresholds must contain at least one value")
+        rmax = float(ts.max())
+        out = np.zeros((q.shape[0], ts.size), dtype=np.int64)
+        if rmax <= 0.0:
+            rmax = np.finfo(float).tiny
+        for i, row in enumerate(q):
+            d = np.sort(self.neighbor_distances(row, rmax))
+            out[i, :] = np.searchsorted(d, ts, side="right")
+        return out
+
+    # -- nearest neighbours ----------------------------------------------------
+
+    def knn(self, center, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """``k`` nearest neighbours of ``center``.
+
+        Returns ``(distances, indices)`` sorted by ascending distance.  If
+        ``k`` exceeds the number of points, all points are returned.
+        """
+        k = int(k)
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        x, y = float(center[0]), float(center[1])
+        k = min(k, self.points.shape[0])
+
+        # Max-heap of the best k found so far, stored as (-dist2, position).
+        heap: list[tuple[float, int]] = []
+
+        # Best-first node traversal ordered by min distance to the node box.
+        node_heap: list[tuple[float, int]] = [(0.0, 0)]
+        while node_heap:
+            dmin, node = heapq.heappop(node_heap)
+            if len(heap) == k and dmin * dmin >= -heap[0][0]:
+                break
+            if self.is_leaf(node):
+                start, stop = self.node_start[node], self.node_stop[node]
+                block = self._sorted_points[start:stop]
+                d2 = (block[:, 0] - x) ** 2 + (block[:, 1] - y) ** 2
+                for offset, dist2 in enumerate(d2):
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-float(dist2), start + offset))
+                    elif dist2 < -heap[0][0]:
+                        heapq.heapreplace(heap, (-float(dist2), start + offset))
+                continue
+            for child in self.children(node):
+                cmin, _ = self.node_bounds(child, x, y)
+                if len(heap) < k or cmin * cmin < -heap[0][0]:
+                    heapq.heappush(node_heap, (cmin, child))
+
+        items = sorted((-negd2, pos) for negd2, pos in heap)
+        dists = np.sqrt(np.array([d2 for d2, _ in items], dtype=np.float64))
+        idx = self.indices[np.array([pos for _, pos in items], dtype=np.int64)]
+        return dists, idx
+
+    def __len__(self) -> int:
+        return int(self.points.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KDTree(n={len(self)}, nodes={self.n_nodes}, leaf_size={self.leaf_size})"

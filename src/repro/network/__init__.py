@@ -1,0 +1,33 @@
+"""Road-network substrate: graph, shortest paths, lixels, generators."""
+
+from .dijkstra import (
+    distance_to_position,
+    node_distances,
+    node_distances_with_split,
+    position_distances,
+    position_to_position_distance,
+)
+from .generators import (
+    grid_network,
+    radial_network,
+    random_geometric_network,
+    two_corridor_network,
+)
+from .graph import NetworkPosition, RoadNetwork
+from .lixels import Lixelization, lixelize
+
+__all__ = [
+    "Lixelization",
+    "NetworkPosition",
+    "RoadNetwork",
+    "distance_to_position",
+    "grid_network",
+    "lixelize",
+    "node_distances",
+    "node_distances_with_split",
+    "position_distances",
+    "position_to_position_distance",
+    "radial_network",
+    "random_geometric_network",
+    "two_corridor_network",
+]

@@ -1,0 +1,159 @@
+"""Synthetic road-network generators.
+
+The paper's network experiments run on real road networks (Hong Kong,
+accident corridors).  Offline we substitute parametric families that
+reproduce the topological features the algorithms are sensitive to:
+
+* :func:`grid_network` — Manhattan-style lattice (dense intersections),
+* :func:`radial_network` — ring-and-spoke city layout,
+* :func:`random_geometric_network` — irregular suburban connectivity,
+* :func:`two_corridor_network` — the Figure 3 gadget: two parallel roads
+  that are close in Euclidean distance but far along the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, resolve_rng
+from ..errors import ParameterError
+from .graph import RoadNetwork
+
+__all__ = [
+    "grid_network",
+    "radial_network",
+    "random_geometric_network",
+    "two_corridor_network",
+]
+
+
+def grid_network(nx: int, ny: int, spacing: float = 1.0) -> RoadNetwork:
+    """An ``nx x ny`` lattice of streets with the given block ``spacing``."""
+    nx = int(nx)
+    ny = int(ny)
+    if nx < 2 or ny < 2:
+        raise ParameterError(f"grid network needs nx, ny >= 2, got {nx}x{ny}")
+    spacing = check_positive(spacing, "spacing")
+
+    xs, ys = np.meshgrid(np.arange(nx) * spacing, np.arange(ny) * spacing, indexing="ij")
+    coords = np.column_stack([xs.ravel(), ys.ravel()])
+
+    def node_id(i: int, j: int) -> int:
+        return i * ny + j
+
+    edges: list[tuple[int, int]] = []
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                edges.append((node_id(i, j), node_id(i + 1, j)))
+            if j + 1 < ny:
+                edges.append((node_id(i, j), node_id(i, j + 1)))
+    return RoadNetwork(coords, edges)
+
+
+def radial_network(rings: int, spokes: int, ring_spacing: float = 1.0) -> RoadNetwork:
+    """Concentric rings connected by radial spokes (a classic city skeleton).
+
+    Node 0 is the centre; ring ``r`` (1-based) has ``spokes`` nodes at radius
+    ``r * ring_spacing``.
+    """
+    rings = int(rings)
+    spokes = int(spokes)
+    if rings < 1 or spokes < 3:
+        raise ParameterError(f"need rings >= 1 and spokes >= 3, got {rings}, {spokes}")
+    ring_spacing = check_positive(ring_spacing, "ring_spacing")
+
+    coords = [np.array([0.0, 0.0])]
+    for r in range(1, rings + 1):
+        radius = r * ring_spacing
+        for k in range(spokes):
+            theta = 2.0 * np.pi * k / spokes
+            coords.append(np.array([radius * np.cos(theta), radius * np.sin(theta)]))
+    coords_arr = np.array(coords)
+
+    def ring_node(r: int, k: int) -> int:
+        return 1 + (r - 1) * spokes + (k % spokes)
+
+    edges: list[tuple[int, int]] = []
+    for k in range(spokes):
+        edges.append((0, ring_node(1, k)))  # centre to first ring
+        for r in range(1, rings):
+            edges.append((ring_node(r, k), ring_node(r + 1, k)))  # spokes
+    for r in range(1, rings + 1):
+        for k in range(spokes):
+            edges.append((ring_node(r, k), ring_node(r, k + 1)))  # ring arcs
+    return RoadNetwork(coords_arr, edges)
+
+
+def random_geometric_network(
+    n_nodes: int,
+    radius: float,
+    bbox_size: float = 10.0,
+    seed=None,
+) -> RoadNetwork:
+    """Random geometric graph restricted to its largest connected component.
+
+    Nodes are uniform in ``[0, bbox_size]^2``; any pair within ``radius`` is
+    connected.  The largest component is kept so Dijkstra-based methods see
+    a connected network.
+    """
+    n_nodes = int(n_nodes)
+    if n_nodes < 2:
+        raise ParameterError(f"need at least 2 nodes, got {n_nodes}")
+    radius = check_positive(radius, "radius")
+    bbox_size = check_positive(bbox_size, "bbox_size")
+    rng = resolve_rng(seed)
+
+    coords = rng.uniform(0.0, bbox_size, size=(n_nodes, 2))
+    d2 = ((coords[:, None, :] - coords[None, :, :]) ** 2).sum(axis=2)
+    iu, ju = np.triu_indices(n_nodes, k=1)
+    close = d2[iu, ju] <= radius * radius
+    edges = np.column_stack([iu[close], ju[close]])
+    if edges.shape[0] == 0:
+        raise ParameterError(
+            "random geometric graph produced no edges; increase radius"
+        )
+
+    net = RoadNetwork(coords, edges)
+    labels = net.connected_components()
+    keep = labels == np.bincount(labels).argmax()
+    if keep.all():
+        return net
+    # Re-index nodes of the largest component.
+    remap = -np.ones(n_nodes, dtype=np.int64)
+    remap[keep] = np.arange(int(keep.sum()))
+    edge_keep = keep[edges[:, 0]] & keep[edges[:, 1]]
+    new_edges = remap[edges[edge_keep]]
+    return RoadNetwork(coords[keep], new_edges)
+
+
+def two_corridor_network(
+    length: float = 10.0,
+    gap: float = 0.5,
+    segments: int = 10,
+) -> RoadNetwork:
+    """The Figure 3 gadget: two parallel corridors joined only at one end.
+
+    Two horizontal roads of the given ``length`` run ``gap`` apart; a single
+    connector joins them at ``x = length``.  A point on the lower corridor
+    near ``x = 0`` is Euclidean-close to the upper corridor (distance
+    ``gap``) but network-far (about ``2 * length``), exactly the situation
+    where planar KDV overestimates density (paper Figure 3).
+    """
+    length = check_positive(length, "length")
+    gap = check_positive(gap, "gap")
+    segments = int(segments)
+    if segments < 1:
+        raise ParameterError(f"segments must be >= 1, got {segments}")
+
+    xs = np.linspace(0.0, length, segments + 1)
+    lower = np.column_stack([xs, np.zeros_like(xs)])
+    upper = np.column_stack([xs, np.full_like(xs, gap)])
+    coords = np.vstack([lower, upper])
+
+    edges: list[tuple[int, int]] = []
+    for i in range(segments):
+        edges.append((i, i + 1))  # lower corridor
+        edges.append((segments + 1 + i, segments + 2 + i))  # upper corridor
+    edges.append((segments, 2 * segments + 1))  # connector at x = length
+    return RoadNetwork(coords, edges)

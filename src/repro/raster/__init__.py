@@ -1,0 +1,20 @@
+"""Raster substrate: density grids, colour maps, image export."""
+
+from .canvas import DensityGrid
+from .colormap import COLORMAPS, Colormap, get_colormap
+from .contours import contour_polylines, contour_segments
+from .image import ascii_render, read_ppm, render_rgb, write_pgm, write_ppm
+
+__all__ = [
+    "COLORMAPS",
+    "Colormap",
+    "DensityGrid",
+    "contour_polylines",
+    "contour_segments",
+    "ascii_render",
+    "get_colormap",
+    "read_ppm",
+    "render_rgb",
+    "write_pgm",
+    "write_ppm",
+]

@@ -1,0 +1,84 @@
+"""Colour maps for rendering density grids as heatmaps.
+
+Two built-in maps cover the paper's figures: ``"heat"`` (transparent-blue →
+green → yellow → red, the classic hotspot-map ramp of Figure 1) and
+``"viridis"`` (a perceptually uniform alternative).  Maps are defined by
+control points and interpolated linearly in RGB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["Colormap", "get_colormap", "COLORMAPS"]
+
+
+class Colormap:
+    """Piecewise-linear RGB colour map on [0, 1]."""
+
+    def __init__(self, name: str, stops: list[tuple[float, tuple[int, int, int]]]):
+        if len(stops) < 2:
+            raise ParameterError("a colormap needs at least two stops")
+        positions = [s[0] for s in stops]
+        if positions[0] != 0.0 or positions[-1] != 1.0:
+            raise ParameterError("colormap stops must start at 0.0 and end at 1.0")
+        if any(b <= a for a, b in zip(positions, positions[1:])):
+            raise ParameterError("colormap stop positions must strictly increase")
+        self.name = name
+        self._pos = np.asarray(positions, dtype=np.float64)
+        self._rgb = np.asarray([s[1] for s in stops], dtype=np.float64)
+        if self._rgb.min() < 0 or self._rgb.max() > 255:
+            raise ParameterError("colormap RGB components must lie in [0, 255]")
+
+    def __call__(self, values) -> np.ndarray:
+        """Map values in [0, 1] to uint8 RGB; input is clipped to [0, 1].
+
+        Accepts any array shape and returns that shape plus a trailing
+        RGB axis.
+        """
+        vals = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+        flat = vals.ravel()
+        out = np.empty((flat.shape[0], 3), dtype=np.float64)
+        for c in range(3):
+            out[:, c] = np.interp(flat, self._pos, self._rgb[:, c])
+        rgb = np.rint(out).astype(np.uint8)
+        return rgb.reshape(vals.shape + (3,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Colormap({self.name!r}, stops={len(self._pos)})"
+
+
+COLORMAPS: dict[str, Colormap] = {
+    "heat": Colormap(
+        "heat",
+        [
+            (0.0, (13, 8, 64)),
+            (0.25, (40, 60, 190)),
+            (0.5, (60, 180, 75)),
+            (0.75, (250, 220, 40)),
+            (1.0, (215, 25, 28)),
+        ],
+    ),
+    "viridis": Colormap(
+        "viridis",
+        [
+            (0.0, (68, 1, 84)),
+            (0.25, (59, 82, 139)),
+            (0.5, (33, 145, 140)),
+            (0.75, (94, 201, 98)),
+            (1.0, (253, 231, 37)),
+        ],
+    ),
+    "gray": Colormap("gray", [(0.0, (0, 0, 0)), (1.0, (255, 255, 255))]),
+}
+
+
+def get_colormap(name: str) -> Colormap:
+    """Look up a built-in colormap by name."""
+    try:
+        return COLORMAPS[name]
+    except KeyError:
+        known = ", ".join(sorted(COLORMAPS))
+        raise ParameterError(f"unknown colormap {name!r}; available: {known}") from None

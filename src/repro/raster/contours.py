@@ -1,0 +1,151 @@
+"""Contour extraction from density grids (marching squares).
+
+Hotspot maps (Figures 1 and 5) draw the hotspot *boundary* — an iso-density
+contour — on top of the base map.  This module extracts iso-level polylines
+from a :class:`~repro.raster.DensityGrid` with the marching-squares
+algorithm: each 2x2 pixel block contributes line segments according to
+which of its corners exceed the level, with linear interpolation along the
+block edges; segments are then chained into polylines.
+
+Saddle blocks (cases 5 and 10) are disambiguated with the block-centre
+average, the standard rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .canvas import DensityGrid
+
+__all__ = ["contour_segments", "contour_polylines"]
+
+
+def _interp(p0: float, p1: float, v0: float, v1: float, level: float) -> float:
+    """Coordinate where the level crosses the edge from (p0,v0) to (p1,v1)."""
+    if v1 == v0:
+        return 0.5 * (p0 + p1)
+    t = (level - v0) / (v1 - v0)
+    return p0 + t * (p1 - p0)
+
+
+def contour_segments(grid: DensityGrid, level: float) -> np.ndarray:
+    """Marching-squares segments of the iso-``level`` contour.
+
+    Returns an ``(m, 2, 2)`` array of line segments in planar coordinates
+    (each segment is ``[[x0, y0], [x1, y1]]``).
+    """
+    level = float(level)
+    values = grid.values
+    xs, ys = grid.pixel_centers()
+    nx, ny = grid.nx, grid.ny
+    if nx < 2 or ny < 2:
+        raise ParameterError("contour extraction needs at least a 2x2 grid")
+
+    segments: list[tuple[tuple[float, float], tuple[float, float]]] = []
+    above = values >= level
+
+    for i in range(nx - 1):
+        x0, x1 = xs[i], xs[i + 1]
+        for j in range(ny - 1):
+            # Corners: a=(i,j), b=(i+1,j), c=(i+1,j+1), d=(i,j+1).
+            a = above[i, j]
+            b = above[i + 1, j]
+            c = above[i + 1, j + 1]
+            d = above[i, j + 1]
+            case = (a << 0) | (b << 1) | (c << 2) | (d << 3)
+            if case in (0, 15):
+                continue
+            y0, y1 = ys[j], ys[j + 1]
+            va, vb = values[i, j], values[i + 1, j]
+            vc, vd = values[i + 1, j + 1], values[i, j + 1]
+
+            # Crossing points on the four block edges.
+            bottom = (_interp(x0, x1, va, vb, level), y0)
+            right = (x1, _interp(y0, y1, vb, vc, level))
+            top = (_interp(x0, x1, vd, vc, level), y1)
+            left = (x0, _interp(y0, y1, va, vd, level))
+
+            if case in (1, 14):
+                segments.append((left, bottom))
+            elif case in (2, 13):
+                segments.append((bottom, right))
+            elif case in (3, 12):
+                segments.append((left, right))
+            elif case in (4, 11):
+                segments.append((right, top))
+            elif case in (6, 9):
+                segments.append((bottom, top))
+            elif case in (7, 8):
+                segments.append((left, top))
+            else:  # saddles 5 and 10: split by the centre average
+                center_above = 0.25 * (va + vb + vc + vd) >= level
+                if case == 5:  # a and c above
+                    if center_above:
+                        segments.append((left, top))
+                        segments.append((bottom, right))
+                    else:
+                        segments.append((left, bottom))
+                        segments.append((right, top))
+                else:  # case 10: b and d above
+                    if center_above:
+                        segments.append((left, bottom))
+                        segments.append((right, top))
+                    else:
+                        segments.append((left, top))
+                        segments.append((bottom, right))
+    if not segments:
+        return np.empty((0, 2, 2), dtype=np.float64)
+    return np.asarray(segments, dtype=np.float64)
+
+
+def contour_polylines(
+    grid: DensityGrid, level: float, tol: float = 1e-9
+) -> list[np.ndarray]:
+    """Chain marching-squares segments into polylines.
+
+    Returns a list of ``(k, 2)`` coordinate arrays; closed contours repeat
+    their first vertex at the end.
+    """
+    segs = contour_segments(grid, level)
+    if segs.shape[0] == 0:
+        return []
+
+    # Hash endpoints on a snapped lattice so chaining is O(m).
+    def key(pt) -> tuple[int, int]:
+        return (int(round(pt[0] / tol)), int(round(pt[1] / tol)))
+
+    endpoints: dict[tuple[int, int], list[int]] = {}
+    for idx, seg in enumerate(segs):
+        for end in (seg[0], seg[1]):
+            endpoints.setdefault(key(end), []).append(idx)
+
+    used = np.zeros(segs.shape[0], dtype=bool)
+    polylines: list[np.ndarray] = []
+    for start in range(segs.shape[0]):
+        if used[start]:
+            continue
+        used[start] = True
+        chain = [segs[start][0], segs[start][1]]
+        # Extend forward from the tail, then backward from the head.
+        for reverse in (False, True):
+            while True:
+                tip = chain[0] if reverse else chain[-1]
+                candidates = [
+                    idx for idx in endpoints.get(key(tip), []) if not used[idx]
+                ]
+                if not candidates:
+                    break
+                idx = candidates[0]
+                used[idx] = True
+                seg = segs[idx]
+                if key(seg[0]) == key(tip):
+                    nxt = seg[1]
+                else:
+                    nxt = seg[0]
+                if reverse:
+                    chain.insert(0, nxt)
+                else:
+                    chain.append(nxt)
+        polylines.append(np.asarray(chain))
+    return polylines

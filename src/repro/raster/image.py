@@ -1,0 +1,115 @@
+"""Image export and terminal preview for density grids.
+
+Heatmaps are written as binary PPM (P6) — a dependency-free format every
+image viewer and converter understands — and can be previewed in a terminal
+as ASCII art.  Both renderers share the same orientation convention: row 0
+of the image is the *top* of the map (largest y), as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+from .canvas import DensityGrid
+from .colormap import Colormap, get_colormap
+
+__all__ = ["render_rgb", "write_ppm", "write_pgm", "ascii_render"]
+
+
+def render_rgb(grid: DensityGrid, colormap: str | Colormap = "heat") -> np.ndarray:
+    """Render a density grid to an ``(height, width, 3)`` uint8 image."""
+    cmap = get_colormap(colormap) if isinstance(colormap, str) else colormap
+    norm = grid.normalized()  # (nx, ny), x-major
+    # Transpose to (row, col) = (y, x) and flip so north is up.
+    image = cmap(norm.T[::-1, :])
+    return image
+
+
+def write_ppm(path, grid: DensityGrid, colormap: str | Colormap = "heat") -> Path:
+    """Write the grid as a binary PPM heatmap; returns the path written."""
+    image = render_rgb(grid, colormap)
+    h, w, _ = image.shape
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(image.tobytes())
+    return path
+
+
+def write_pgm(path, grid: DensityGrid) -> Path:
+    """Write the grid as an 8-bit grayscale PGM; returns the path written."""
+    norm = grid.normalized().T[::-1, :]
+    image = np.rint(norm * 255).astype(np.uint8)
+    h, w = image.shape
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(image.tobytes())
+    return path
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(grid: DensityGrid, width: int = 64) -> str:
+    """A terminal-friendly preview of the heatmap.
+
+    The grid is downsampled to ``width`` columns (aspect-preserving with a
+    2:1 character aspect correction) and mapped onto a density ramp.
+    """
+    width = int(width)
+    if width < 2:
+        raise DataError(f"ascii width must be >= 2, got {width}")
+    norm = grid.normalized().T[::-1, :]  # (rows, cols), north up
+    rows, cols = norm.shape
+    height = max(2, int(round(rows * (width / cols) * 0.5)))
+    # Max-pool each output cell over its source block so isolated peaks
+    # survive downsampling (a heatmap preview must not hide its hotspot).
+    row_edges = np.linspace(0, rows, height + 1).astype(int)
+    col_edges = np.linspace(0, cols, width + 1).astype(int)
+    sampled = np.empty((height, width), dtype=np.float64)
+    for r in range(height):
+        r0, r1 = row_edges[r], max(row_edges[r + 1], row_edges[r] + 1)
+        r1 = min(r1, rows)
+        r0 = min(r0, r1 - 1)
+        for c in range(width):
+            c0, c1 = col_edges[c], max(col_edges[c + 1], col_edges[c] + 1)
+            c1 = min(c1, cols)
+            c0 = min(c0, c1 - 1)
+            sampled[r, c] = norm[r0:r1, c0:c1].max()
+    levels = np.minimum(
+        (sampled * len(_ASCII_RAMP)).astype(int), len(_ASCII_RAMP) - 1
+    )
+    return "\n".join("".join(_ASCII_RAMP[v] for v in row) for row in levels)
+
+
+def read_ppm(path) -> np.ndarray:
+    """Read back a binary PPM written by :func:`write_ppm` (for round-trips)."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise DataError(f"{path} is not a binary PPM (P6) file")
+    # Header: magic, width, height, maxval — whitespace separated.
+    parts: list[bytes] = []
+    i = 2
+    while len(parts) < 3:
+        while i < len(data) and data[i:i + 1].isspace():
+            i += 1
+        if data[i:i + 1] == b"#":  # comment line
+            while i < len(data) and data[i:i + 1] != b"\n":
+                i += 1
+            continue
+        start = i
+        while i < len(data) and not data[i:i + 1].isspace():
+            i += 1
+        parts.append(data[start:i])
+    i += 1  # single whitespace after maxval
+    w, h, maxval = (int(p) for p in parts)
+    if maxval != 255:
+        raise DataError(f"unsupported PPM maxval {maxval}")
+    pixels = np.frombuffer(data[i:i + w * h * 3], dtype=np.uint8)
+    if pixels.size != w * h * 3:
+        raise DataError(f"{path} is truncated")
+    return pixels.reshape(h, w, 3).copy()

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of points, coarse grids) so the
+full suite stays fast; the benchmarks directory holds the larger runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import csr, network_accidents, thomas
+from repro.geometry import BoundingBox
+from repro.network import grid_network
+
+
+@pytest.fixture(scope="session")
+def bbox() -> BoundingBox:
+    return BoundingBox(0.0, 0.0, 20.0, 12.0)
+
+
+@pytest.fixture(scope="session")
+def clustered_points(bbox):
+    """A clearly clustered point pattern (Thomas process)."""
+    return thomas(400, 4, 0.6, bbox, seed=101)
+
+
+@pytest.fixture(scope="session")
+def random_points(bbox):
+    """A CSR (uniform) point pattern of the same size."""
+    return csr(400, bbox, seed=102)
+
+
+@pytest.fixture(scope="session")
+def small_points(bbox):
+    return csr(60, bbox, seed=103)
+
+
+@pytest.fixture(scope="session")
+def road_network():
+    return grid_network(6, 6, spacing=1.0)
+
+
+@pytest.fixture(scope="session")
+def road_events(road_network):
+    return network_accidents(road_network, 80, seed=104)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)

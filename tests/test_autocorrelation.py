@@ -1,0 +1,194 @@
+"""Tests for spatial weights, Moran's I, and Getis-Ord statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocorrelation import (
+    SpatialWeights,
+    distance_band_weights,
+    general_g,
+    knn_weights,
+    lattice_weights,
+    local_gi_star,
+    local_morans_i,
+    morans_i,
+)
+from repro.errors import DataError, ParameterError
+
+
+class TestSpatialWeights:
+    def test_knn_cardinalities(self, random_points):
+        w = knn_weights(random_points, 4, row_standardize=False)
+        assert (w.cardinalities() == 4).all()
+
+    def test_knn_row_standardized_sums(self, random_points):
+        w = knn_weights(random_points, 4)
+        for i in range(w.n):
+            _, weights = w.row(i)
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_knn_bad_k(self, small_points):
+        with pytest.raises(ParameterError):
+            knn_weights(small_points, 0)
+        with pytest.raises(ParameterError):
+            knn_weights(small_points, small_points.shape[0])
+
+    def test_distance_band_symmetric(self, random_points):
+        w = distance_band_weights(random_points, 2.0)
+        dense = w.dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_distance_band_binary(self, random_points):
+        w = distance_band_weights(random_points, 2.0)
+        assert set(np.unique(w.weights)) <= {1.0}
+
+    def test_distance_band_inverse(self, random_points):
+        w = distance_band_weights(random_points, 2.0, binary=False)
+        assert (w.weights > 0).all()
+
+    def test_lattice_rook_interior_degree(self):
+        w = lattice_weights(5, 5, "rook")
+        # Interior cell (2, 2) -> id 12 has 4 rook neighbours.
+        assert w.row(12)[0].shape[0] == 4
+
+    def test_lattice_queen_corner_degree(self):
+        w = lattice_weights(5, 5, "queen")
+        assert w.row(0)[0].shape[0] == 3
+
+    def test_lattice_bad_contiguity(self):
+        with pytest.raises(ParameterError):
+            lattice_weights(3, 3, "bishop")
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(DataError, match="diagonal"):
+            SpatialWeights([0, 1], [0], [1.0], 1)
+
+    def test_lag_computation(self):
+        w = lattice_weights(1, 3, "rook")  # path of 3 cells
+        lag = w.lag(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(lag, [2.0, 4.0, 2.0])
+
+    def test_moment_sums_match_dense(self, small_points):
+        w = distance_band_weights(small_points, 3.0)
+        dense = w.dense()
+        s0 = dense.sum()
+        s1 = 0.5 * ((dense + dense.T) ** 2).sum()
+        s2 = ((dense.sum(axis=1) + dense.sum(axis=0)) ** 2).sum()
+        assert w.s0() == pytest.approx(s0)
+        assert w.s1() == pytest.approx(s1)
+        assert w.s2() == pytest.approx(s2)
+
+
+class TestMoransI:
+    def test_gradient_positive(self, random_points):
+        w = knn_weights(random_points, 6)
+        res = morans_i(random_points[:, 0], w)
+        assert res.statistic > 0.5
+        assert res.z_score > 3.0
+        assert res.is_clustered
+
+    def test_checkerboard_negative(self):
+        w = lattice_weights(8, 8, "rook")
+        values = np.fromfunction(lambda i, j: (i + j) % 2, (8, 8)).ravel()
+        res = morans_i(values, w)
+        assert res.statistic == pytest.approx(-1.0)
+        assert res.z_score < -3.0
+
+    def test_random_values_insignificant(self, random_points, rng):
+        w = knn_weights(random_points, 6)
+        res = morans_i(rng.normal(size=random_points.shape[0]), w)
+        assert abs(res.z_score) < 3.0
+
+    def test_expected_value(self, small_points, rng):
+        w = knn_weights(small_points, 4)
+        res = morans_i(rng.normal(size=small_points.shape[0]), w)
+        assert res.expected == pytest.approx(-1.0 / (small_points.shape[0] - 1))
+
+    def test_permutation_p_small_for_gradient(self, random_points):
+        w = knn_weights(random_points, 6)
+        res = morans_i(random_points[:, 0], w, permutations=99, seed=1)
+        assert res.p_permutation == pytest.approx(1.0 / 100.0)
+
+    def test_constant_values_rejected(self, small_points):
+        w = knn_weights(small_points, 4)
+        with pytest.raises(DataError, match="constant"):
+            morans_i(np.ones(small_points.shape[0]), w)
+
+    def test_scale_invariance(self, random_points):
+        w = knn_weights(random_points, 6)
+        z = random_points[:, 0]
+        a = morans_i(z, w).statistic
+        b = morans_i(z * 100.0 + 5.0, w).statistic
+        assert a == pytest.approx(b)
+
+
+class TestLocalMoran:
+    def test_mean_relates_to_global(self, random_points):
+        w = knn_weights(random_points, 6)
+        z = random_points[:, 0]
+        local = local_morans_i(z, w, permutations=49, seed=2)
+        global_i = morans_i(z, w).statistic
+        # sum(I_i) / n relates to global I up to the (n-1)/n factor family.
+        assert np.sign(local.statistics.mean()) == np.sign(global_i)
+
+    def test_labels_valid(self, random_points):
+        w = knn_weights(random_points, 6)
+        local = local_morans_i(random_points[:, 0], w, permutations=19, seed=3)
+        assert set(local.labels) <= {"HH", "LL", "HL", "LH", "ns"}
+
+    def test_hotspot_detected_hh(self, bbox, rng):
+        """A block of high values in one corner should yield HH labels."""
+        from repro.data import csr
+
+        pts = csr(150, bbox, seed=4)
+        z = np.where((pts[:, 0] < 6) & (pts[:, 1] < 6), 10.0, 0.0)
+        z += rng.normal(scale=0.1, size=150)
+        w = knn_weights(pts, 6)
+        local = local_morans_i(z, w, permutations=99, seed=5)
+        hh = [
+            lab for lab, inside in zip(local.labels, (pts[:, 0] < 6) & (pts[:, 1] < 6))
+            if inside
+        ]
+        assert hh.count("HH") > len(hh) * 0.4
+
+
+class TestGetisOrd:
+    def test_high_value_clustering_detected(self, bbox):
+        from repro.data import csr
+
+        pts = csr(200, bbox, seed=6)
+        z = np.exp(-((pts[:, 0] - 5) ** 2 + (pts[:, 1] - 5) ** 2) / 8.0)
+        w = distance_band_weights(pts, 3.0)
+        res = general_g(z, w)
+        assert res.high_clustering
+        assert res.z_score > 2.0
+
+    def test_random_values_insignificant(self, bbox, rng):
+        from repro.data import csr
+
+        pts = csr(200, bbox, seed=7)
+        z = rng.uniform(0.1, 1.0, size=200)
+        w = distance_band_weights(pts, 3.0)
+        res = general_g(z, w)
+        assert abs(res.z_score) < 3.0
+
+    def test_negative_values_rejected(self, small_points):
+        w = distance_band_weights(small_points, 3.0)
+        with pytest.raises(DataError, match="non-negative"):
+            general_g(np.linspace(-1, 1, small_points.shape[0]), w)
+
+    def test_gi_star_hot_and_cold(self, bbox):
+        from repro.data import csr
+
+        pts = csr(200, bbox, seed=8)
+        z = np.exp(-((pts[:, 0] - 4) ** 2 + (pts[:, 1] - 4) ** 2) / 4.0)
+        w = distance_band_weights(pts, 2.5)
+        gi = local_gi_star(z, w)
+        hot = np.sqrt(((pts - [4.0, 4.0]) ** 2).sum(axis=1)) < 2.0
+        assert gi[hot].mean() > 1.5
+        assert gi[~hot].mean() < gi[hot].mean()
+
+    def test_gi_star_constant_rejected(self, small_points):
+        w = distance_band_weights(small_points, 2.0)
+        with pytest.raises(DataError, match="constant"):
+            local_gi_star(np.ones(small_points.shape[0]), w)

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import read_points_csv, write_csv
+
+
+@pytest.fixture()
+def events_csv(tmp_path, clustered_points):
+    path = tmp_path / "events.csv"
+    write_csv(path, clustered_points)
+    return path
+
+
+@pytest.fixture()
+def st_events_csv(tmp_path, clustered_points, rng):
+    path = tmp_path / "st_events.csv"
+    times = rng.uniform(0, 100, size=clustered_points.shape[0])
+    write_csv(path, clustered_points, times=times)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_size_parsing(self):
+        args = build_parser().parse_args(
+            ["kdv", "x.csv", "--bandwidth", "2", "--size", "64x48"]
+        )
+        assert args.size == (64, 48)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["kdv", "x.csv", "--bandwidth", "2", "--size", "64by48"]
+            )
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("dataset,has_time", [
+        ("covid", True), ("crime", False), ("taxi", True),
+    ])
+    def test_generates_csv(self, tmp_path, dataset, has_time, capsys):
+        out = tmp_path / f"{dataset}.csv"
+        code = main(
+            ["generate", dataset, "--n", "300", "--seed", "1", "--out", str(out)]
+        )
+        assert code == 0
+        pts, times = read_points_csv(out)
+        assert pts.shape[0] == 300
+        assert (times is not None) == has_time
+        assert "wrote 300 events" in capsys.readouterr().out
+
+
+class TestKdvCommand:
+    def test_renders_heatmap(self, events_csv, tmp_path, capsys):
+        out = tmp_path / "map.ppm"
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5",
+             "--size", "48x32", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "peak density" in capsys.readouterr().out
+
+    def test_ascii_without_out(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "32x24"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "@" in output or "#" in output  # some dense glyph appears
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(
+            ["kdv", str(tmp_path / "nope.csv"), "--bandwidth", "1.0"]
+        )
+        assert code == 1
+
+    def test_bad_kernel_reported(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.0", "--kernel", "box"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestKfunctionCommand:
+    def test_detects_clustering(self, events_csv, capsys):
+        code = main(
+            ["kfunction", str(events_csv), "--thresholds", "6",
+             "--simulations", "19", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clustered" in out
+        assert "suggested KDV bandwidth" in out
+
+    def test_custom_max_threshold(self, events_csv, capsys):
+        code = main(
+            ["kfunction", str(events_csv), "--thresholds", "4",
+             "--max-threshold", "2.0", "--simulations", "5"]
+        )
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert any(l.strip().startswith("2") for l in lines)
+
+
+class TestHotspotsCommand:
+    def test_full_pipeline(self, events_csv, tmp_path, capsys):
+        out = tmp_path / "hot.ppm"
+        code = main(
+            ["hotspots", str(events_csv), "--size", "48x32",
+             "--simulations", "9", "--seed", "3", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "hotspots found" in capsys.readouterr().out
+
+
+class TestCsrtestCommand:
+    def test_clustered_detected(self, events_csv, capsys):
+        code = main(["csrtest", str(events_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CSR rejected" in out
+        assert "clustered" in out
+
+    def test_custom_quadrats(self, events_csv, capsys):
+        code = main(["csrtest", str(events_csv), "--quadrats", "4x3"])
+        assert code == 0
+        assert "4x3" in capsys.readouterr().out
+
+
+class TestStkdvCommand:
+    def test_writes_frames(self, st_events_csv, tmp_path, capsys):
+        prefix = tmp_path / "frame"
+        code = main(
+            ["stkdv", str(st_events_csv), "--frames", "2",
+             "--bandwidth-space", "2.0", "--bandwidth-time", "25",
+             "--size", "32x24", "--out-prefix", str(prefix)]
+        )
+        assert code == 0
+        assert (tmp_path / "frame_000.ppm").exists()
+        assert (tmp_path / "frame_001.ppm").exists()
+
+    def test_rejects_2col_csv(self, events_csv, capsys):
+        code = main(
+            ["stkdv", str(events_csv), "--frames", "2",
+             "--bandwidth-space", "2.0", "--bandwidth-time", "25"]
+        )
+        assert code == 2
+        assert "x,y,t" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Tests for DBSCAN and hotspot extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import dbscan, extract_hotspots, label_components
+from repro.core.kdv import kde_grid
+from repro.data import csr, thomas
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox, pairwise_distances
+from repro.raster import DensityGrid
+
+
+def brute_dbscan(points, eps, min_pts):
+    """Reference DBSCAN with an O(n^2) neighbourhood table."""
+    d = pairwise_distances(points)
+    nbrs = [np.flatnonzero(row <= eps) for row in d]
+    core = [len(nb) >= min_pts for nb in nbrs]
+    labels = np.full(points.shape[0], -1)
+    cluster = 0
+    for seed in range(points.shape[0]):
+        if labels[seed] != -1 or not core[seed]:
+            continue
+        labels[seed] = cluster
+        frontier = list(nbrs[seed])
+        while frontier:
+            j = frontier.pop()
+            if labels[j] == -1:
+                labels[j] = cluster
+                if core[j]:
+                    frontier.extend(nbrs[j])
+        cluster += 1
+    return labels
+
+
+def same_partition(a, b):
+    """Cluster labels match up to renaming; noise must match exactly."""
+    if (a == -1).tolist() != (b == -1).tolist():
+        return False
+    mapping = {}
+    for x, y in zip(a, b):
+        if x == -1:
+            continue
+        if x in mapping and mapping[x] != y:
+            return False
+        mapping[x] = y
+    return len(set(mapping.values())) == len(mapping)
+
+
+class TestDBSCAN:
+    def test_matches_brute_force(self, bbox):
+        pts = np.vstack([thomas(150, 3, 0.3, bbox, seed=11), csr(30, bbox, seed=12)])
+        got = dbscan(pts, eps=0.5, min_pts=5)
+        ref = brute_dbscan(pts, 0.5, 5)
+        assert same_partition(got, ref)
+
+    def test_well_separated_clusters(self):
+        rng = np.random.default_rng(13)
+        a = rng.normal([0, 0], 0.2, size=(40, 2))
+        b = rng.normal([10, 10], 0.2, size=(40, 2))
+        labels = dbscan(np.vstack([a, b]), eps=1.0, min_pts=4)
+        assert labels.max() == 1
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1
+        assert labels[0] != labels[40]
+
+    def test_all_noise_when_sparse(self, bbox):
+        pts = csr(30, bbox, seed=14)
+        labels = dbscan(pts, eps=0.01, min_pts=3)
+        assert (labels == -1).all()
+
+    def test_single_cluster_dense(self):
+        pts = np.random.default_rng(15).normal(size=(60, 2)) * 0.1
+        labels = dbscan(pts, eps=0.5, min_pts=3)
+        assert (labels == 0).all()
+
+    def test_min_pts_one_no_noise(self, small_points):
+        labels = dbscan(small_points, eps=0.5, min_pts=1)
+        assert (labels >= 0).all()
+
+    def test_validation(self, small_points):
+        with pytest.raises(ParameterError):
+            dbscan(small_points, eps=0.0)
+        with pytest.raises(ParameterError):
+            dbscan(small_points, eps=1.0, min_pts=0)
+
+
+class TestLabelComponents:
+    def test_two_blobs(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0:2, 0:2] = True
+        mask[4:6, 4:6] = True
+        labels, count = label_components(mask)
+        assert count == 2
+        assert labels[0, 0] != labels[5, 5]
+        assert labels[3, 3] == -1
+
+    def test_diagonal_not_connected(self):
+        mask = np.zeros((2, 2), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        _, count = label_components(mask)
+        assert count == 2  # 4-connectivity
+
+    def test_empty_mask(self):
+        labels, count = label_components(np.zeros((3, 3), dtype=bool))
+        assert count == 0
+        assert (labels == -1).all()
+
+    def test_full_mask(self):
+        _, count = label_components(np.ones((4, 5), dtype=bool))
+        assert count == 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ParameterError):
+            label_components(np.zeros(5, dtype=bool))
+
+
+class TestExtractHotspots:
+    def test_two_cluster_dataset_two_hotspots(self, bbox):
+        centers = np.array([[4.0, 4.0], [16.0, 8.0]])
+        pts = thomas(400, 2, 0.5, bbox, seed=16, centers=centers)
+        grid = kde_grid(pts, bbox, (64, 40), 1.0)
+        spots = extract_hotspots(grid, quantile=0.9, min_pixels=3)
+        assert len(spots) >= 2
+        found = np.array([s.peak for s in spots[:2]])
+        # Each true centre is near some extracted peak.
+        for c in centers:
+            assert np.sqrt(((found - c) ** 2).sum(axis=1)).min() < 2.0
+
+    def test_sorted_by_mass(self, bbox, clustered_points):
+        grid = kde_grid(clustered_points, bbox, (48, 32), 1.0)
+        spots = extract_hotspots(grid, quantile=0.9)
+        masses = [s.mass for s in spots]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_min_pixels_filters_speckle(self, bbox, clustered_points):
+        grid = kde_grid(clustered_points, bbox, (48, 32), 0.4)
+        all_spots = extract_hotspots(grid, quantile=0.97, min_pixels=1)
+        big_spots = extract_hotspots(grid, quantile=0.97, min_pixels=4)
+        assert len(big_spots) <= len(all_spots)
+
+    def test_hotspot_fields_consistent(self, bbox, clustered_points):
+        grid = kde_grid(clustered_points, bbox, (48, 32), 1.0)
+        spot = extract_hotspots(grid, quantile=0.9)[0]
+        assert spot.n_pixels == spot.pixels.shape[0]
+        assert spot.peak_value <= grid.max
+        assert bbox.contains([spot.centroid]).all()
+        assert spot.area > 0
+
+    def test_quantile_validation(self, bbox, clustered_points):
+        grid = kde_grid(clustered_points, bbox, (16, 16), 1.0)
+        with pytest.raises(ParameterError):
+            extract_hotspots(grid, quantile=1.5)
+        with pytest.raises(ParameterError):
+            extract_hotspots(grid, min_pixels=0)

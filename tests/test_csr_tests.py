@@ -1,0 +1,108 @@
+"""Tests for the quadrat test and Clark-Evans index."""
+
+import numpy as np
+import pytest
+
+from repro.core.csr_tests import _chi2_sf, clark_evans, quadrat_test
+from repro.data import csr, inhibited, thomas
+from repro.errors import DataError, ParameterError
+from repro.geometry import BoundingBox
+
+
+class TestChi2Helper:
+    def test_known_values(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for x, df in [(1.0, 1), (5.0, 3), (20.0, 10), (45.0, 24), (0.5, 7)]:
+            assert _chi2_sf(x, df) == pytest.approx(
+                scipy_stats.chi2.sf(x, df), rel=1e-8
+            )
+
+    def test_boundaries(self):
+        assert _chi2_sf(0.0, 5) == 1.0
+        assert _chi2_sf(1e6, 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            _chi2_sf(-1.0, 2)
+        with pytest.raises(ParameterError):
+            _chi2_sf(1.0, 0)
+
+
+class TestQuadratTest:
+    def test_csr_not_rejected(self, bbox):
+        pts = csr(500, bbox, seed=61)
+        result = quadrat_test(pts, bbox, 5, 5)
+        assert result.is_csr
+        assert result.counts.sum() == 500
+
+    def test_clustered_rejected(self, bbox):
+        pts = thomas(500, 3, 0.5, bbox, seed=62)
+        result = quadrat_test(pts, bbox, 5, 5)
+        assert not result.is_csr
+        assert result.p_value < 1e-6
+
+    def test_dispersed_rejected(self, bbox):
+        pts = inhibited(300, 0.7, bbox, seed=63)
+        result = quadrat_test(pts, bbox, 4, 4)
+        # Inhibition makes counts *more even* than Poisson: low statistic,
+        # p close to 1 — still informative, and counts remain consistent.
+        assert result.statistic < result.df  # under-dispersed
+
+    def test_counts_layout(self):
+        bbox = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        pts = np.array([[0.5, 0.5]] * 5 + [[1.5, 1.5]] * 3)
+        result = quadrat_test(pts, bbox, 2, 2)
+        assert result.counts[0, 0] == 5
+        assert result.counts[1, 1] == 3
+
+    def test_too_sparse_rejected(self, bbox):
+        pts = csr(10, bbox, seed=64)
+        with pytest.raises(DataError, match="per quadrat"):
+            quadrat_test(pts, bbox, 10, 10)
+
+    def test_bad_quadrats(self, bbox, random_points):
+        with pytest.raises(ParameterError):
+            quadrat_test(random_points, bbox, 1, 1)
+
+
+class TestClarkEvans:
+    def test_csr_near_one(self, bbox):
+        pts = csr(600, bbox, seed=65)
+        result = clark_evans(pts, bbox)
+        assert 0.9 < result.index < 1.1
+        assert result.pattern == "random"
+
+    def test_clustered_below_one(self, bbox):
+        pts = thomas(400, 3, 0.4, bbox, seed=66)
+        result = clark_evans(pts, bbox)
+        assert result.index < 0.7
+        assert result.pattern == "clustered"
+        assert result.z_score < -5.0
+
+    def test_dispersed_above_one(self, bbox):
+        pts = inhibited(300, 0.7, bbox, seed=67)
+        result = clark_evans(pts, bbox)
+        assert result.index > 1.2
+        assert result.pattern == "dispersed"
+
+    def test_grid_points_maximally_dispersed(self):
+        bbox = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        xs, ys = np.meshgrid(np.arange(0.5, 10, 1.0), np.arange(0.5, 10, 1.0))
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        result = clark_evans(pts, bbox)
+        # A perfect lattice approaches R = 2 (the theoretical maximum ~2.15).
+        assert result.index > 1.8
+
+    def test_needs_two_points(self, bbox):
+        with pytest.raises(DataError):
+            clark_evans([[1.0, 1.0]], bbox)
+
+    def test_edge_correction_reduces_csr_bias(self, bbox):
+        pts = csr(600, bbox, seed=65)
+        raw = clark_evans(pts, bbox, edge_correction="none")
+        corrected = clark_evans(pts, bbox)
+        assert abs(corrected.index - 1.0) < abs(raw.index - 1.0)
+
+    def test_bad_edge_correction(self, bbox, random_points):
+        with pytest.raises(ParameterError):
+            clark_evans(random_points, bbox, edge_correction="torus")

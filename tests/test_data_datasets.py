@@ -1,0 +1,148 @@
+"""Unit tests for the dataset stand-ins (hk_covid, chicago_crime, nyc_taxi)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SpatialDataset,
+    SpatioTemporalDataset,
+    chicago_crime,
+    hk_covid,
+    network_accidents,
+    nyc_taxi,
+)
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox
+
+
+class TestDatasetContainers:
+    def test_spatial_dataset_validates(self, bbox):
+        with pytest.raises(Exception):
+            SpatialDataset("x", [[np.nan, 0.0]], bbox)
+
+    def test_subsample(self, bbox, random_points):
+        ds = SpatialDataset("x", random_points, bbox)
+        sub = ds.subsample(50, seed=1)
+        assert sub.n == 50
+        assert bbox.contains(sub.points).all()
+
+    def test_subsample_bad_size(self, bbox, random_points):
+        ds = SpatialDataset("x", random_points, bbox)
+        with pytest.raises(ParameterError):
+            ds.subsample(0)
+        with pytest.raises(ParameterError):
+            ds.subsample(ds.n + 1)
+
+    def test_slice_time(self):
+        ds = hk_covid(100, 100, seed=1)
+        first = ds.slice_time(0.0, 100.0)
+        second = ds.slice_time(100.0, 200.0)
+        assert first.n + second.n == ds.n
+
+    def test_slice_time_empty_raises(self):
+        ds = hk_covid(100, 100, seed=1)
+        with pytest.raises(ParameterError, match="no events"):
+            ds.slice_time(900.0, 999.0)
+
+    def test_spatial_projection(self):
+        ds = hk_covid(50, 50, seed=1)
+        assert ds.spatial().n == ds.n
+
+
+class TestHKCovid:
+    def test_shape_and_window(self):
+        ds = hk_covid(200, 300, seed=2)
+        assert ds.n == 500
+        assert ds.bbox.contains(ds.points).all()
+        assert ds.times.shape == (500,)
+
+    def test_times_sorted(self):
+        ds = hk_covid(100, 100, seed=3)
+        assert (np.diff(ds.times) >= 0).all()
+
+    def test_wave_structure(self):
+        ds = hk_covid(300, 500, seed=4)
+        wave1 = ds.slice_time(0.0, 100.0)
+        wave2 = ds.slice_time(100.0, 200.0)
+        assert wave1.n == 300
+        assert wave2.n == 500
+
+    def test_wave2_has_two_regions(self):
+        """The Figure 4 signature: wave 2 splits mass across two centres."""
+        ds = hk_covid(400, 800, background_fraction=0.0, seed=5)
+        wave2 = ds.slice_time(100.0, 200.0).points
+        west = (wave2[:, 0] < 25.0).mean()
+        assert 0.25 < west < 0.75  # mass genuinely split, not one blob
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            hk_covid(0, 10)
+        with pytest.raises(ParameterError):
+            hk_covid(10, 10, background_fraction=1.0)
+
+
+class TestChicagoCrime:
+    def test_size_scalable(self):
+        for n in (100, 1000):
+            ds = chicago_crime(n, seed=6)
+            assert ds.n == n
+            assert ds.bbox.contains(ds.points).all()
+
+    def test_street_alignment(self):
+        ds = chicago_crime(2000, street_fraction=1.0, street_spacing=0.5, seed=7)
+        # Every event has at least one coordinate on the 0.5 grid.
+        on_grid = (
+            np.isclose(np.mod(ds.points[:, 0], 0.5), 0.0, atol=1e-9)
+            | np.isclose(np.mod(ds.points[:, 0], 0.5), 0.5, atol=1e-9)
+            | np.isclose(np.mod(ds.points[:, 1], 0.5), 0.0, atol=1e-9)
+            | np.isclose(np.mod(ds.points[:, 1], 0.5), 0.5, atol=1e-9)
+        )
+        assert on_grid.mean() > 0.99
+
+    def test_clustered(self):
+        from repro.core.kfunction import k_function_plot
+
+        ds = chicago_crime(400, seed=8)
+        plot = k_function_plot(
+            ds.points, ds.bbox, [1.0, 2.0], n_simulations=19, seed=9
+        )
+        assert plot.clustered_mask().any()
+
+
+class TestNYCTaxi:
+    def test_shape(self):
+        ds = nyc_taxi(500, seed=10)
+        assert ds.n == 500
+        assert ds.bbox.contains(ds.points).all()
+        assert ds.time_range[0] >= 0.0
+
+    def test_time_span(self):
+        ds = nyc_taxi(2000, days=3.0, seed=11)
+        assert ds.times.max() <= 72.0
+
+    def test_hotspot_mixture_denser_downtown(self):
+        ds = nyc_taxi(4000, background_fraction=0.0, seed=12)
+        downtown = np.array([12.0, 14.0])
+        near = (np.sqrt(((ds.points - downtown) ** 2).sum(axis=1)) < 5.0).mean()
+        assert near > 0.2
+
+
+class TestNetworkAccidents:
+    def test_events_on_network(self, road_network):
+        events = network_accidents(road_network, 60, seed=13)
+        assert len(events) == 60
+        for ev in events:
+            road_network.check_position(ev)
+
+    def test_hotspot_edges_concentrate(self, road_network):
+        hot = [0, 1]
+        events = network_accidents(
+            road_network, 200, hotspot_edges=hot, hotspot_fraction=1.0, seed=14
+        )
+        assert all(ev.edge in hot for ev in events)
+
+    def test_bad_hotspot_edges(self, road_network):
+        with pytest.raises(ParameterError):
+            network_accidents(road_network, 10, hotspot_edges=[999])
+        with pytest.raises(ParameterError):
+            network_accidents(road_network, 10, hotspot_edges=[])

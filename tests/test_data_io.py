@@ -1,0 +1,84 @@
+"""Unit tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SpatialDataset,
+    SpatioTemporalDataset,
+    read_dataset_csv,
+    read_points_csv,
+    write_csv,
+)
+from repro.errors import DataError
+
+
+class TestRoundTrips:
+    def test_points_roundtrip(self, tmp_path, random_points):
+        path = tmp_path / "pts.csv"
+        write_csv(path, random_points)
+        loaded, times = read_points_csv(path)
+        np.testing.assert_allclose(loaded, random_points)
+        assert times is None
+
+    def test_points_times_roundtrip(self, tmp_path, random_points, rng):
+        t = rng.uniform(0, 100, size=random_points.shape[0])
+        path = tmp_path / "st.csv"
+        write_csv(path, random_points, times=t)
+        loaded, times = read_points_csv(path)
+        np.testing.assert_allclose(loaded, random_points)
+        np.testing.assert_allclose(times, t)
+
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        pts, times = read_points_csv(path)
+        assert pts.shape == (2, 2)
+        assert times is None
+
+    def test_dataset_csv_spatial(self, tmp_path, random_points):
+        path = tmp_path / "ds.csv"
+        write_csv(path, random_points)
+        ds = read_dataset_csv(path, margin=0.5)
+        assert isinstance(ds, SpatialDataset)
+        assert ds.name == "ds"
+        assert ds.bbox.contains(ds.points).all()
+
+    def test_dataset_csv_spatiotemporal(self, tmp_path, random_points, rng):
+        t = rng.uniform(size=random_points.shape[0])
+        path = tmp_path / "st.csv"
+        write_csv(path, random_points, times=t)
+        ds = read_dataset_csv(path)
+        assert isinstance(ds, SpatioTemporalDataset)
+
+
+class TestErrorHandling:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            read_points_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(DataError, match="no data rows"):
+            read_points_csv(path)
+
+    def test_non_numeric_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0,2.0\noops,3.0\n")
+        with pytest.raises(DataError, match="non-numeric"):
+            read_points_csv(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("1,2,3,4\n")
+        with pytest.raises(DataError, match="2 or 3 columns"):
+            read_points_csv(path)
+
+    def test_mixed_widths(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("1,2\n1,2,3\n")
+        with pytest.raises(DataError, match="mixes"):
+            read_points_csv(path)

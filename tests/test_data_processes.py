@@ -1,0 +1,137 @@
+"""Unit tests for the point-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import csr, inhibited, inhomogeneous, matern, mixture, poisson, thomas
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox
+
+
+class TestCSR:
+    def test_size_and_window(self, bbox):
+        pts = csr(300, bbox, seed=1)
+        assert pts.shape == (300, 2)
+        assert bbox.contains(pts).all()
+
+    def test_reproducible(self, bbox):
+        np.testing.assert_array_equal(csr(50, bbox, seed=9), csr(50, bbox, seed=9))
+
+    def test_different_seeds_differ(self, bbox):
+        assert not np.array_equal(csr(50, bbox, seed=1), csr(50, bbox, seed=2))
+
+    def test_zero_points(self, bbox):
+        assert csr(0, bbox, seed=1).shape == (0, 2)
+
+    def test_negative_rejected(self, bbox):
+        with pytest.raises(ParameterError):
+            csr(-1, bbox)
+
+    def test_roughly_uniform_quadrants(self, bbox):
+        pts = csr(4000, bbox, seed=3)
+        left = (pts[:, 0] < bbox.center[0]).mean()
+        assert 0.45 < left < 0.55
+
+
+class TestPoisson:
+    def test_mean_count(self, bbox):
+        counts = [poisson(2.0, bbox, seed=s).shape[0] for s in range(30)]
+        expected = 2.0 * bbox.area
+        assert abs(np.mean(counts) - expected) < 0.15 * expected
+
+    def test_bad_intensity(self, bbox):
+        with pytest.raises(ParameterError):
+            poisson(0.0, bbox)
+
+
+class TestThomas:
+    def test_exact_size_inside_window(self, bbox):
+        pts = thomas(500, 5, 0.5, bbox, seed=4)
+        assert pts.shape == (500, 2)
+        assert bbox.contains(pts).all()
+
+    def test_explicit_centers_concentrate_mass(self, bbox):
+        center = np.array([[5.0, 5.0]])
+        pts = thomas(400, 1, 0.4, bbox, seed=5, centers=center)
+        d = np.sqrt(((pts - center[0]) ** 2).sum(axis=1))
+        assert np.median(d) < 1.0
+
+    def test_weights_bias_clusters(self, bbox):
+        centers = np.array([[3.0, 3.0], [17.0, 9.0]])
+        pts = thomas(600, 2, 0.3, bbox, seed=6, centers=centers, weights=[0.9, 0.1])
+        near_first = (np.sqrt(((pts - centers[0]) ** 2).sum(axis=1)) < 2.0).mean()
+        assert near_first > 0.7
+
+    def test_bad_weights(self, bbox):
+        with pytest.raises(ParameterError):
+            thomas(10, 2, 0.5, bbox, weights=[1.0])  # wrong length vs clusters
+
+    def test_more_clustered_than_csr(self, bbox):
+        from repro.core.kfunction import k_function
+
+        t = thomas(300, 3, 0.4, bbox, seed=7)
+        u = csr(300, bbox, seed=8)
+        ts = np.array([1.0])
+        assert k_function(t, ts)[0] > 2 * k_function(u, ts)[0]
+
+
+class TestMatern:
+    def test_size_and_window(self, bbox):
+        pts = matern(300, 4, 1.0, bbox, seed=9)
+        assert pts.shape == (300, 2)
+        assert bbox.contains(pts).all()
+
+    def test_bad_params(self, bbox):
+        with pytest.raises(ParameterError):
+            matern(10, 0, 1.0, bbox)
+        with pytest.raises(ParameterError):
+            matern(10, 2, -1.0, bbox)
+
+
+class TestInhibited:
+    def test_min_distance_respected(self, bbox):
+        pts = inhibited(100, 0.8, bbox, seed=10)
+        from repro.geometry import pairwise_distances
+
+        d = pairwise_distances(pts)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() >= 0.8
+
+    def test_packing_bound_rejected(self):
+        tiny = BoundingBox(0, 0, 1, 1)
+        with pytest.raises(ParameterError, match="packing"):
+            inhibited(10_000, 0.5, tiny)
+
+    def test_budget_exhaustion_raises(self, bbox):
+        with pytest.raises(ParameterError, match="budget"):
+            inhibited(200, 1.2, bbox, seed=1, max_proposals=50)
+
+
+class TestInhomogeneous:
+    def test_follows_intensity(self, bbox):
+        def ramp(xs, ys):
+            return xs  # density grows to the right
+
+        pts = inhomogeneous(2000, ramp, bbox, seed=11)
+        right = (pts[:, 0] > bbox.center[0]).mean()
+        assert right > 0.65
+
+    def test_rejects_negative_intensity(self, bbox):
+        with pytest.raises(ParameterError, match="non-negative"):
+            inhomogeneous(10, lambda xs, ys: xs - 100.0, bbox, seed=1)
+
+    def test_rejects_zero_intensity(self, bbox):
+        with pytest.raises(ParameterError, match="zero"):
+            inhomogeneous(10, lambda xs, ys: np.zeros_like(xs), bbox, seed=1)
+
+
+class TestMixture:
+    def test_concat_and_shuffle(self, bbox):
+        a = csr(50, bbox, seed=1)
+        b = csr(30, bbox, seed=2)
+        mixed = mixture([(0.6, a), (0.4, b)], seed=3)
+        assert mixed.shape == (80, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            mixture([])

@@ -1,0 +1,40 @@
+"""Smoke tests that the example scripts run end to end.
+
+Only the fast examples run here (the scalability sweep belongs to the
+benchmark session); each is executed in-process via ``runpy`` with its
+stdout captured, and the headline claims of its output are asserted.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys, tmp_path, monkeypatch):
+        out = run_example("quickstart.py", capsys)
+        assert "significant clustering: yes" in out
+        assert "heatmap written to" in out
+        assert (EXAMPLES / "output" / "quickstart_heatmap.ppm").exists()
+
+    def test_disease_mapping(self, capsys):
+        out = run_example("disease_mapping.py", capsys)
+        assert "Moran's I" in out
+        assert "hot districts" in out
+
+    def test_epidemic_hawkes(self, capsys):
+        out = run_example("epidemic_hawkes.py", capsys)
+        assert "simulated epidemic" in out
+        assert "active cases" in out

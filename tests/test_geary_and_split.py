@@ -1,0 +1,132 @@
+"""Tests for Geary's C and the equal-split NKDV variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocorrelation import gearys_c, knn_weights, lattice_weights
+from repro.core.nkdv import nkdv
+from repro.data import network_accidents
+from repro.errors import DataError, ParameterError
+from repro.network import (
+    NetworkPosition,
+    RoadNetwork,
+    node_distances_with_split,
+    radial_network,
+)
+
+
+class TestGearysC:
+    def test_gradient_below_one(self, random_points):
+        w = knn_weights(random_points, 6)
+        res = gearys_c(random_points[:, 0], w)
+        assert res.statistic < 1.0
+        assert res.z_score < -3.0
+        assert res.positive_autocorrelation
+
+    def test_checkerboard_above_one(self):
+        w = lattice_weights(8, 8, "rook")
+        values = np.fromfunction(lambda i, j: (i + j) % 2, (8, 8)).ravel()
+        res = gearys_c(values, w)
+        assert res.statistic > 1.5
+        assert res.z_score > 3.0
+
+    def test_random_values_near_one(self, random_points, rng):
+        w = knn_weights(random_points, 6)
+        res = gearys_c(rng.normal(size=random_points.shape[0]), w)
+        assert abs(res.z_score) < 3.0
+        assert res.expected == 1.0
+
+    def test_agrees_with_moran_direction(self, random_points):
+        """Geary and Moran must agree on the sign of autocorrelation."""
+        from repro.core.autocorrelation import morans_i
+
+        w = knn_weights(random_points, 6)
+        z = random_points[:, 1]
+        moran = morans_i(z, w)
+        geary = gearys_c(z, w)
+        assert (moran.statistic > moran.expected) == (geary.statistic < 1.0)
+
+    def test_permutation_p(self, random_points):
+        w = knn_weights(random_points, 6)
+        res = gearys_c(random_points[:, 0], w, permutations=99, seed=1)
+        assert res.p_permutation == pytest.approx(0.01)
+
+    def test_constant_rejected(self, small_points):
+        w = knn_weights(small_points, 4)
+        with pytest.raises(DataError, match="constant"):
+            gearys_c(np.ones(small_points.shape[0]), w)
+
+    def test_scale_invariance(self, random_points):
+        w = knn_weights(random_points, 6)
+        z = random_points[:, 0]
+        a = gearys_c(z, w).statistic
+        b = gearys_c(z * 10.0 - 3.0, w).statistic
+        assert a == pytest.approx(b)
+
+
+class TestSplitDijkstra:
+    def test_path_graph_factors_one(self):
+        net = RoadNetwork([[0, 0], [1, 0], [2, 0]], [(0, 1), (1, 2)])
+        dist, factor = node_distances_with_split(net, 0)
+        np.testing.assert_allclose(dist, [0.0, 1.0, 2.0])
+        np.testing.assert_allclose(factor, [1.0, 1.0, 1.0])
+
+    def test_star_splits_at_center(self):
+        # Star: centre 0 with 4 leaves. Path leaf->centre->leaf splits by 3.
+        coords = [[0, 0], [1, 0], [0, 1], [-1, 0], [0, -1]]
+        net = RoadNetwork(coords, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        dist, factor = node_distances_with_split(net, 1)
+        assert factor[0] == pytest.approx(1.0)  # arriving at the centre
+        for leaf in (2, 3, 4):
+            assert factor[leaf] == pytest.approx(1.0 / 3.0)
+
+    def test_unreachable_zero_factor(self):
+        net = RoadNetwork(
+            [[0, 0], [1, 0], [5, 5], [6, 5]], [(0, 1), (2, 3)]
+        )
+        dist, factor = node_distances_with_split(net, 0)
+        assert np.isinf(dist[2]) and factor[2] == 0.0
+
+    def test_cutoff_respected(self):
+        net = RoadNetwork([[0, 0], [1, 0], [2, 0]], [(0, 1), (1, 2)])
+        dist, factor = node_distances_with_split(net, 0, cutoff=1.5)
+        assert np.isinf(dist[2])
+
+
+class TestEqualSplitNKDV:
+    def test_path_network_equals_unsplit(self):
+        net = RoadNetwork(
+            [[0, 0], [1, 0], [2, 0], [3, 0]], [(0, 1), (1, 2), (2, 3)]
+        )
+        events = [NetworkPosition(0, 0.5), NetworkPosition(2, 0.2)]
+        plain = nkdv(net, events, 0.25, 1.5, split="none", method="naive")
+        split = nkdv(net, events, 0.25, 1.5, split="equal", method="naive")
+        np.testing.assert_allclose(plain.densities, split.densities, atol=1e-12)
+
+    def test_split_never_exceeds_unsplit(self, road_network, road_events):
+        plain = nkdv(road_network, road_events, 0.25, 1.5, split="none")
+        split = nkdv(road_network, road_events, 0.25, 1.5, split="equal")
+        assert (split.densities <= plain.densities + 1e-9).all()
+
+    def test_methods_agree(self, road_network, road_events):
+        a = nkdv(road_network, road_events, 0.25, 1.5, split="equal", method="naive")
+        b = nkdv(road_network, road_events, 0.25, 1.5, split="equal", method="shared")
+        np.testing.assert_allclose(a.densities, b.densities, atol=1e-9)
+
+    def test_star_center_splits_mass(self):
+        """On a radial network mass beyond the hub is divided by its degree."""
+        net = radial_network(1, 4, ring_spacing=2.0)  # hub 0 + 4 ring nodes
+        # Event on the first spoke near the hub.
+        event = [NetworkPosition(0, 1.8)]  # spoke edges come first
+        result = nkdv(net, event, 0.25, 3.0, kernel="uniform", split="equal")
+        plain = nkdv(net, event, 0.25, 3.0, kernel="uniform", split="none")
+        # Lixels on other spokes have split densities strictly below plain.
+        other_spoke = result.lixels.lixels_of_edge(1)
+        assert (
+            result.densities[other_spoke].max()
+            < plain.densities[other_spoke].max()
+        )
+
+    def test_unknown_split(self, road_network, road_events):
+        with pytest.raises(ParameterError, match="split"):
+            nkdv(road_network, road_events, 0.25, 1.5, split="harmonic")

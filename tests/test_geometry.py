@@ -1,0 +1,141 @@
+"""Unit tests for the geometry substrate (bounding boxes, distances)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.geometry import (
+    BoundingBox,
+    distances,
+    haversine,
+    iter_pairwise_squared,
+    pairwise_distances,
+    squared_distances,
+)
+
+
+class TestBoundingBox:
+    def test_measures(self):
+        box = BoundingBox(1.0, 2.0, 4.0, 8.0)
+        assert box.width == 3.0
+        assert box.height == 6.0
+        assert box.area == 18.0
+        assert box.center == (2.5, 5.0)
+        assert box.diagonal == pytest.approx(np.hypot(3.0, 6.0))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ParameterError):
+            BoundingBox(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ParameterError):
+            BoundingBox(0.0, 5.0, 1.0, 4.0)
+
+    def test_of_points_tight(self):
+        box = BoundingBox.of_points([[0, 0], [2, 5]])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 2, 5)
+
+    def test_of_points_degenerate_padded(self):
+        box = BoundingBox.of_points([[1, 1], [1, 5]])
+        assert box.width == 1.0  # padded by 0.5 each side
+
+    def test_of_points_margin(self):
+        box = BoundingBox.of_points([[0, 0], [2, 2]], margin=1.0)
+        assert (box.xmin, box.ymax) == (-1.0, 3.0)
+
+    def test_expanded(self):
+        box = BoundingBox.unit().expanded(0.5)
+        assert (box.xmin, box.xmax) == (-0.5, 1.5)
+
+    def test_contains_and_clip(self):
+        box = BoundingBox.unit()
+        pts = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+        mask = box.contains(pts)
+        assert mask.tolist() == [True, False, True]  # boundary is inside
+        assert box.clip(pts).shape == (2, 2)
+
+    def test_pixel_centers_layout(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        xs, ys = box.pixel_centers(4, 2)
+        assert xs.tolist() == [0.5, 1.5, 2.5, 3.5]
+        assert ys.tolist() == [0.5, 1.5]
+
+    def test_pixel_size(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert box.pixel_size(4, 2) == (1.0, 1.0)
+
+    def test_pixel_centers_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            BoundingBox.unit().pixel_centers(0, 4)
+
+    def test_sample_uniform_inside(self, rng):
+        box = BoundingBox(2.0, 3.0, 5.0, 9.0)
+        pts = box.sample_uniform(500, rng)
+        assert pts.shape == (500, 2)
+        assert box.contains(pts).all()
+
+    def test_sample_uniform_zero(self, rng):
+        assert BoundingBox.unit().sample_uniform(0, rng).shape == (0, 2)
+
+    def test_torus_displacement_wraps(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        dx, dy = box.torus_displacement(np.array([9.0]), np.array([1.0]))
+        assert dx[0] == 1.0  # 10 - 9
+        assert dy[0] == 1.0
+
+    def test_scaled_bandwidth(self):
+        box = BoundingBox(0.0, 0.0, 3.0, 4.0)
+        assert box.scaled_bandwidth(0.1) == pytest.approx(0.5)
+
+
+class TestDistances:
+    def test_squared_matches_direct(self, rng):
+        a = rng.uniform(size=(7, 2))
+        b = rng.uniform(size=(5, 2))
+        d2 = squared_distances(a, b)
+        ref = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(d2, ref, atol=1e-12)
+
+    def test_distances_non_negative(self, rng):
+        a = rng.uniform(size=(10, 2))
+        assert (distances(a, a) >= 0).all()
+
+    def test_pairwise_symmetric_zero_diagonal(self, rng):
+        a = rng.uniform(size=(6, 2))
+        d = pairwise_distances(a)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-7)
+
+    def test_iter_pairwise_covers_all_rows(self, rng):
+        a = rng.uniform(size=(11, 2))
+        full = squared_distances(a, a)
+        seen = np.zeros_like(full)
+        for start, stop, block in iter_pairwise_squared(a, chunk=4):
+            seen[start:stop] = block
+        np.testing.assert_allclose(seen, full, atol=1e-12)
+
+    def test_iter_pairwise_bad_chunk(self):
+        with pytest.raises(ParameterError):
+            list(iter_pairwise_squared([[0, 0], [1, 1]], chunk=0))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine([0.0, 0.0], [0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_quarter_meridian(self):
+        # Equator to pole along a meridian = quarter of the circumference.
+        d = haversine([0.0, 0.0], [0.0, 90.0])
+        assert d == pytest.approx(np.pi / 2 * 6_371_008.8, rel=1e-9)
+
+    def test_symmetry(self):
+        a, b = [12.3, 45.6], [-7.8, 9.1]
+        assert haversine(a, b) == pytest.approx(haversine(b, a))
+
+    def test_vectorised(self):
+        a = np.array([[0.0, 0.0], [10.0, 10.0]])
+        b = np.array([[1.0, 0.0], [10.0, 11.0]])
+        out = haversine(a, b)
+        assert out.shape == (2,)
+
+    def test_bad_radius(self):
+        with pytest.raises(ParameterError):
+            haversine([0, 0], [1, 1], radius=0.0)

@@ -1,0 +1,68 @@
+"""Tests for the simultaneous (global MAD) envelope test."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import global_envelope_test
+from repro.data import csr, inhibited, thomas
+from repro.errors import ParameterError
+
+THRESHOLDS = np.linspace(0.3, 2.5, 8)
+
+
+class TestGlobalEnvelope:
+    def test_clustered_significant(self, bbox):
+        pts = thomas(300, 3, 0.4, bbox, seed=701)
+        res = global_envelope_test(pts, bbox, THRESHOLDS, n_simulations=39, seed=702)
+        assert res.significant
+        assert res.p_value <= 0.05
+
+    def test_csr_not_significant(self, bbox):
+        pts = csr(300, bbox, seed=703)
+        res = global_envelope_test(pts, bbox, THRESHOLDS, n_simulations=39, seed=704)
+        assert not res.significant
+        assert res.p_value > 0.05
+
+    def test_dispersed_significant(self, bbox):
+        """MAD is two-sided: inhibition also triggers it."""
+        pts = inhibited(250, 0.7, bbox, seed=705)
+        res = global_envelope_test(pts, bbox, THRESHOLDS, n_simulations=39, seed=706)
+        assert res.significant
+
+    def test_controls_family_wise_level(self, bbox):
+        """Across CSR replicates the global test rejects ~alpha of the time,
+        while pointwise 99-sim envelopes with 8 thresholds reject more."""
+        from repro.core.kfunction import k_function_plot
+
+        global_rejects = 0
+        pointwise_rejects = 0
+        trials = 12
+        for t in range(trials):
+            pts = csr(150, bbox, seed=800 + t)
+            g = global_envelope_test(
+                pts, bbox, THRESHOLDS, n_simulations=39, seed=900 + t
+            )
+            global_rejects += int(g.significant)
+            p = k_function_plot(pts, bbox, THRESHOLDS, n_simulations=39, seed=900 + t)
+            pointwise_rejects += int(
+                p.clustered_mask().any() or p.dispersed_mask().any()
+            )
+        assert global_rejects <= pointwise_rejects
+        assert global_rejects <= 3  # ~5% nominal, allow Monte-Carlo slack
+
+    def test_fields_consistent(self, bbox, small_points):
+        res = global_envelope_test(
+            small_points, bbox, THRESHOLDS, n_simulations=19, seed=707
+        )
+        assert res.observed.shape == THRESHOLDS.shape
+        assert res.sim_mean.shape == THRESHOLDS.shape
+        assert res.mad_observed >= 0
+        assert 0 < res.p_value <= 1
+
+    def test_validation(self, bbox, small_points):
+        with pytest.raises(ParameterError, match="19 simulations"):
+            global_envelope_test(small_points, bbox, THRESHOLDS, n_simulations=5)
+        with pytest.raises(ParameterError, match="alpha"):
+            global_envelope_test(
+                small_points, bbox, THRESHOLDS, n_simulations=19, alpha=1.5
+            )

@@ -1,0 +1,118 @@
+"""Tests for inverse distance weighting."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import idw_grid, idw_predict
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def samples():
+    rng = np.random.default_rng(71)
+    pts = rng.uniform(0, 10, size=(80, 2))
+    vals = np.sin(pts[:, 0] * 0.8) + 0.3 * pts[:, 1]
+    return pts, vals
+
+
+class TestExactInterpolation:
+    @pytest.mark.parametrize("method,kw", [
+        ("naive", {}),
+        ("knn", {"k": 8}),
+        ("cutoff", {"radius": 2.0}),
+    ])
+    def test_exact_at_samples(self, method, kw, samples):
+        pts, vals = samples
+        pred = idw_predict(pts, vals, pts, method=method, **kw)
+        np.testing.assert_allclose(pred, vals, atol=1e-9)
+
+    def test_coincident_samples_pick_one(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0]])
+        vals = np.array([2.0, 4.0])
+        pred = idw_predict(pts, vals, [[1.0, 1.0]])
+        assert pred[0] in (2.0, 4.0)
+
+
+class TestPredictions:
+    def test_within_sample_range(self, samples):
+        """IDW is a convex combination: predictions stay in [min, max]."""
+        pts, vals = samples
+        rng = np.random.default_rng(72)
+        queries = rng.uniform(0, 10, size=(50, 2))
+        pred = idw_predict(pts, vals, queries)
+        assert pred.min() >= vals.min() - 1e-9
+        assert pred.max() <= vals.max() + 1e-9
+
+    def test_far_query_approaches_mean_with_low_power(self, samples):
+        pts, vals = samples
+        pred = idw_predict(pts, vals, [[1e6, 1e6]], power=2.0)
+        # At extreme range all weights are ~equal: prediction ~ mean.
+        assert pred[0] == pytest.approx(vals.mean(), abs=0.05 * abs(vals).max())
+
+    def test_higher_power_more_local(self, samples):
+        pts, vals = samples
+        nearest = pts[0] + np.array([0.01, 0.0])
+        soft = idw_predict(pts, vals, [nearest], power=1.0)[0]
+        sharp = idw_predict(pts, vals, [nearest], power=8.0)[0]
+        assert abs(sharp - vals[0]) <= abs(soft - vals[0]) + 1e-12
+
+    def test_knn_converges_to_naive_with_k_equals_n(self, samples):
+        pts, vals = samples
+        rng = np.random.default_rng(73)
+        queries = rng.uniform(0, 10, size=(20, 2))
+        a = idw_predict(pts, vals, queries, method="naive")
+        b = idw_predict(pts, vals, queries, method="knn", k=pts.shape[0])
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_cutoff_fallback_nearest(self, samples):
+        pts, vals = samples
+        pred = idw_predict(pts, vals, [[50.0, 50.0]], method="cutoff", radius=1.0)
+        # No sample within radius 1 of (50, 50): nearest-sample fallback.
+        d = np.sqrt(((pts - [50.0, 50.0]) ** 2).sum(axis=1))
+        assert pred[0] == vals[np.argmin(d)]
+
+    def test_chunking_invariant(self, samples):
+        pts, vals = samples
+        queries = pts[:25] + 0.05
+        a = idw_predict(pts, vals, queries, chunk=4)
+        b = idw_predict(pts, vals, queries, chunk=10_000)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+class TestIdwGrid:
+    def test_grid_shape_and_window(self, samples):
+        pts, vals = samples
+        bbox = BoundingBox(0, 0, 10, 10)
+        grid = idw_grid(pts, vals, bbox, (16, 12), method="knn", k=6)
+        assert grid.shape == (16, 12)
+        assert grid.bbox is bbox
+
+    def test_methods_similar_smooth_field(self, samples):
+        pts, vals = samples
+        bbox = BoundingBox(0, 0, 10, 10)
+        naive = idw_grid(pts, vals, bbox, (10, 10), method="naive")
+        knn = idw_grid(pts, vals, bbox, (10, 10), method="knn", k=30)
+        assert np.abs(naive.values - knn.values).max() < 0.5
+
+
+class TestValidation:
+    def test_unknown_method(self, samples):
+        pts, vals = samples
+        with pytest.raises(ParameterError, match="unknown IDW"):
+            idw_predict(pts, vals, [[0, 0]], method="spline")
+
+    def test_cutoff_needs_radius(self, samples):
+        pts, vals = samples
+        with pytest.raises(ParameterError, match="radius"):
+            idw_predict(pts, vals, [[0, 0]], method="cutoff")
+
+    def test_bad_power(self, samples):
+        pts, vals = samples
+        with pytest.raises(ParameterError):
+            idw_predict(pts, vals, [[0, 0]], power=0.0)
+
+    def test_bad_k(self, samples):
+        pts, vals = samples
+        with pytest.raises(ParameterError):
+            idw_predict(pts, vals, [[0, 0]], method="knn", k=0)

@@ -1,0 +1,90 @@
+"""Unit tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.index import GridIndex
+
+
+def brute_indices(points, center, radius):
+    d2 = ((points - np.asarray(center)) ** 2).sum(axis=1)
+    return set(np.flatnonzero(d2 <= radius * radius).tolist())
+
+
+class TestGridIndexQueries:
+    def test_range_indices_match_brute(self, random_points):
+        index = GridIndex(random_points, cell_size=1.5)
+        for center in [(0.0, 0.0), (10.0, 6.0), (19.9, 11.9), (5.0, 3.0)]:
+            got = set(index.range_indices(center, 2.5).tolist())
+            assert got == brute_indices(random_points, center, 2.5)
+
+    def test_range_count_matches(self, random_points):
+        index = GridIndex(random_points, cell_size=0.8)
+        for center in [(3.0, 3.0), (15.0, 8.0)]:
+            assert index.range_count(center, 1.7) == len(
+                brute_indices(random_points, center, 1.7)
+            )
+
+    def test_query_outside_bbox(self, random_points):
+        index = GridIndex(random_points, cell_size=1.0)
+        got = set(index.range_indices((-5.0, -5.0), 30.0).tolist())
+        assert got == brute_indices(random_points, (-5.0, -5.0), 30.0)
+
+    def test_neighbor_distances_sorted_consistent(self, random_points):
+        index = GridIndex(random_points, cell_size=1.0)
+        d = index.neighbor_distances((10.0, 6.0), 3.0)
+        assert (d <= 3.0).all()
+        assert d.shape[0] == index.range_count((10.0, 6.0), 3.0)
+
+    def test_count_within_many_queries(self, random_points):
+        index = GridIndex(random_points, cell_size=1.0)
+        queries = random_points[:10]
+        counts = index.count_within(queries, 2.0)
+        for q, c in zip(queries, counts):
+            assert c == len(brute_indices(random_points, q, 2.0))
+
+    def test_multi_threshold_counts(self, random_points):
+        index = GridIndex(random_points, cell_size=2.0)
+        thresholds = np.array([0.5, 1.0, 2.0])
+        table = index.count_within_thresholds(random_points[:8], thresholds)
+        assert table.shape == (8, 3)
+        for row, q in zip(table, random_points[:8]):
+            for c, s in zip(row, thresholds):
+                assert c == len(brute_indices(random_points, q, s))
+        # Counts must be monotone in the threshold.
+        assert (np.diff(table, axis=1) >= 0).all()
+
+    def test_zero_threshold_counts_coincident(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [3.0, 3.0]])
+        index = GridIndex(pts, cell_size=1.0)
+        table = index.count_within_thresholds(pts, np.array([0.0]))
+        assert table[:, 0].tolist() == [2, 2, 1]
+
+
+class TestGridIndexConstruction:
+    def test_rejects_bad_cell_size(self, random_points):
+        with pytest.raises(ParameterError):
+            GridIndex(random_points, cell_size=0.0)
+
+    def test_len(self, random_points):
+        assert len(GridIndex(random_points, cell_size=1.0)) == random_points.shape[0]
+
+    def test_single_point(self):
+        index = GridIndex([[2.0, 2.0]], cell_size=1.0)
+        assert index.range_count((2.0, 2.0), 0.5) == 1
+        assert index.range_count((5.0, 5.0), 0.5) == 0
+
+    def test_duplicate_points_counted(self):
+        pts = np.array([[1.0, 1.0]] * 5)
+        index = GridIndex(pts, cell_size=1.0)
+        assert index.range_count((1.0, 1.0), 0.1) == 5
+
+    def test_radius_larger_than_domain(self, random_points):
+        index = GridIndex(random_points, cell_size=1.0)
+        assert index.range_count((10.0, 6.0), 100.0) == random_points.shape[0]
+
+    def test_empty_thresholds_rejected(self, random_points):
+        index = GridIndex(random_points, cell_size=1.0)
+        with pytest.raises(ParameterError):
+            index.count_within_thresholds(random_points[:2], [])

@@ -1,0 +1,124 @@
+"""Unit tests for the kd-tree and ball-tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.index import BallTree, KDTree
+
+
+def brute_indices(points, center, radius):
+    d2 = ((points - np.asarray(center)) ** 2).sum(axis=1)
+    return set(np.flatnonzero(d2 <= radius * radius).tolist())
+
+
+def brute_knn(points, center, k):
+    d = np.sqrt(((points - np.asarray(center)) ** 2).sum(axis=1))
+    return np.sort(d)[:k]
+
+
+@pytest.mark.parametrize("tree_cls", [KDTree, BallTree])
+class TestTreeRangeQueries:
+    def test_range_indices_match_brute(self, tree_cls, random_points):
+        tree = tree_cls(random_points, leaf_size=8)
+        for center in [(0.0, 0.0), (10.0, 6.0), (19.5, 11.5)]:
+            got = set(tree.range_indices(center, 2.2).tolist())
+            assert got == brute_indices(random_points, center, 2.2)
+
+    def test_range_count(self, tree_cls, random_points):
+        tree = tree_cls(random_points, leaf_size=4)
+        c = (8.0, 4.0)
+        assert tree.range_count(c, 3.0) == len(brute_indices(random_points, c, 3.0))
+
+    def test_whole_domain(self, tree_cls, random_points):
+        tree = tree_cls(random_points)
+        assert tree.range_count((10.0, 6.0), 1000.0) == random_points.shape[0]
+
+    def test_duplicates(self, tree_cls):
+        pts = np.array([[1.0, 1.0]] * 7 + [[5.0, 5.0]])
+        tree = tree_cls(pts, leaf_size=2)
+        assert tree.range_count((1.0, 1.0), 0.01) == 7
+
+    def test_node_bounds_bracket_points(self, tree_cls, random_points):
+        tree = tree_cls(random_points, leaf_size=8)
+        q = (3.7, 9.1)
+        for node in range(tree.n_nodes):
+            dmin, dmax = tree.node_bounds(node, *q)
+            pts = tree.node_points(node)
+            d = np.sqrt(((pts - np.asarray(q)) ** 2).sum(axis=1))
+            assert dmin <= d.min() + 1e-9
+            assert dmax >= d.max() - 1e-9
+
+    def test_children_partition_counts(self, tree_cls, random_points):
+        tree = tree_cls(random_points, leaf_size=8)
+        for node in range(tree.n_nodes):
+            if not tree.is_leaf(node):
+                left, right = tree.children(node)
+                assert tree.node_count(node) == tree.node_count(left) + tree.node_count(right)
+
+    def test_leaf_size_respected(self, tree_cls, random_points):
+        tree = tree_cls(random_points, leaf_size=5)
+        for node in range(tree.n_nodes):
+            if tree.is_leaf(node):
+                # A leaf may exceed leaf_size only when all its points coincide.
+                if tree.node_count(node) > 5:
+                    pts = tree.node_points(node)
+                    assert np.allclose(pts, pts[0])
+
+    def test_rejects_bad_leaf_size(self, tree_cls, random_points):
+        with pytest.raises(ParameterError):
+            tree_cls(random_points, leaf_size=0)
+
+
+class TestKDTreeSpecific:
+    def test_neighbor_distances(self, random_points):
+        tree = KDTree(random_points)
+        c = (6.0, 6.0)
+        d = np.sort(tree.neighbor_distances(c, 2.0))
+        ref = np.sqrt(((random_points - np.asarray(c)) ** 2).sum(axis=1))
+        ref = np.sort(ref[ref <= 2.0])
+        np.testing.assert_allclose(d, ref, atol=1e-12)
+
+    def test_count_within_thresholds(self, random_points):
+        tree = KDTree(random_points)
+        ts = np.array([0.5, 1.5, 3.0])
+        table = tree.count_within_thresholds(random_points[:6], ts)
+        for row, q in zip(table, random_points[:6]):
+            for c, s in zip(row, ts):
+                assert c == len(brute_indices(random_points, q, s))
+
+    def test_knn_matches_brute(self, random_points):
+        tree = KDTree(random_points, leaf_size=4)
+        for k in [1, 3, 10]:
+            for q in [(0.0, 0.0), (10.0, 5.0), (19.0, 11.0)]:
+                d, idx = tree.knn(q, k)
+                np.testing.assert_allclose(d, brute_knn(random_points, q, k), atol=1e-9)
+                assert idx.shape == (k,)
+                assert (np.diff(d) >= -1e-12).all()
+
+    def test_knn_k_exceeds_n(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        d, idx = KDTree(pts).knn((0.0, 0.0), 10)
+        assert d.shape == (3,)
+        assert set(idx.tolist()) == {0, 1, 2}
+
+    def test_knn_rejects_bad_k(self, random_points):
+        with pytest.raises(ParameterError):
+            KDTree(random_points).knn((0, 0), 0)
+
+    def test_knn_finds_exact_match(self, random_points):
+        tree = KDTree(random_points)
+        d, idx = tree.knn(random_points[17], 1)
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+        assert ((random_points[idx[0]] - random_points[17]) ** 2).sum() < 1e-18
+
+
+class TestBallTreeSpecific:
+    def test_ball_contains_points(self, random_points):
+        tree = BallTree(random_points, leaf_size=8)
+        for node in range(tree.n_nodes):
+            pts = tree.node_points(node)
+            center = tree.node_center[node]
+            r = tree.node_radius[node]
+            d = np.sqrt(((pts - center) ** 2).sum(axis=1))
+            assert (d <= r + 1e-9).all()

@@ -1,0 +1,263 @@
+"""Tests for the KDV backends: agreement, guarantees, API behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.kdv import (
+    KDVProblem,
+    effective_radius,
+    kde_bounds,
+    kde_grid,
+    kde_gridcut,
+    kde_naive,
+    kde_parallel,
+    kde_sampling,
+    kde_sweep,
+    sample_size,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+from repro.core.kernels import KERNELS
+from repro.errors import DataError, ParameterError
+
+SIZE = (24, 16)
+BW = 2.0
+
+
+def reference(points, bbox, kernel, weights=None):
+    return kde_naive(KDVProblem(points, bbox, SIZE, BW, kernel, weights=weights))
+
+
+class TestBackendAgreement:
+    """Every accelerated backend must reproduce the naive result."""
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_gridcut_exact(self, kernel, clustered_points, bbox):
+        ref = reference(clustered_points, bbox, kernel)
+        got = kde_gridcut(KDVProblem(clustered_points, bbox, SIZE, BW, kernel))
+        assert got.max_abs_difference(ref) < 1e-8 * max(ref.max, 1.0)
+
+    @pytest.mark.parametrize("kernel", ["uniform", "epanechnikov", "quartic"])
+    def test_sweep_exact(self, kernel, clustered_points, bbox):
+        ref = reference(clustered_points, bbox, kernel)
+        got = kde_sweep(KDVProblem(clustered_points, bbox, SIZE, BW, kernel))
+        assert got.max_abs_difference(ref) < 1e-7 * max(ref.max, 1.0)
+
+    def test_parallel_exact(self, clustered_points, bbox):
+        ref = reference(clustered_points, bbox, "quartic")
+        got = kde_parallel(
+            KDVProblem(clustered_points, bbox, SIZE, BW, "quartic"), workers=3
+        )
+        assert got.max_abs_difference(ref) < 1e-10
+
+    def test_parallel_single_worker(self, clustered_points, bbox):
+        ref = reference(clustered_points, bbox, "gaussian")
+        got = kde_parallel(
+            KDVProblem(clustered_points, bbox, SIZE, BW, "gaussian"), workers=1
+        )
+        assert got.max_abs_difference(ref) < 1e-10
+
+    def test_sweep_with_weights(self, clustered_points, bbox, rng):
+        w = rng.uniform(0.5, 2.0, size=clustered_points.shape[0])
+        ref = reference(clustered_points, bbox, "quartic", weights=w)
+        got = kde_sweep(KDVProblem(clustered_points, bbox, SIZE, BW, "quartic", weights=w))
+        assert got.max_abs_difference(ref) < 1e-7 * max(ref.max, 1.0)
+
+    def test_gridcut_with_weights(self, clustered_points, bbox, rng):
+        w = rng.uniform(0.0, 3.0, size=clustered_points.shape[0])
+        ref = reference(clustered_points, bbox, "epanechnikov", weights=w)
+        got = kde_gridcut(
+            KDVProblem(clustered_points, bbox, SIZE, BW, "epanechnikov", weights=w)
+        )
+        assert got.max_abs_difference(ref) < 1e-9 * max(ref.max, 1.0)
+
+    def test_sweep_rejects_gaussian(self, clustered_points, bbox):
+        with pytest.raises(ParameterError, match="not polynomial"):
+            kde_sweep(KDVProblem(clustered_points, bbox, SIZE, BW, "gaussian"))
+
+    def test_bandwidth_larger_than_window(self, small_points, bbox):
+        """Every point covers every pixel: sweep events all clamp."""
+        big = bbox.diagonal * 2.0
+        ref = kde_naive(KDVProblem(small_points, bbox, SIZE, big, "quartic"))
+        got = kde_sweep(KDVProblem(small_points, bbox, SIZE, big, "quartic"))
+        assert got.max_abs_difference(ref) < 1e-7 * ref.max
+
+    def test_tiny_bandwidth(self, small_points, bbox):
+        """Sub-pixel bandwidths stress the sweep's polynomial cancellation.
+
+        The row-centred expansion loses ~(W / 2b)^4 * eps of absolute
+        precision, so the tolerance here is looser than the exact cases
+        (auto mode dispatches such bandwidths to the scatter backend).
+        """
+        ref = kde_naive(KDVProblem(small_points, bbox, SIZE, 0.05, "quartic"))
+        got = kde_sweep(KDVProblem(small_points, bbox, SIZE, 0.05, "quartic"))
+        assert got.max_abs_difference(ref) < 1e-4 * max(ref.max, 1.0)
+
+    def test_points_outside_window_contribute(self, bbox):
+        """KDV counts mass from points outside the rendered window."""
+        outside = np.array([[bbox.xmax + 0.5, bbox.center[1]]])
+        ref = kde_naive(KDVProblem(outside, bbox, SIZE, 3.0, "quartic"))
+        got = kde_sweep(KDVProblem(outside, bbox, SIZE, 3.0, "quartic"))
+        assert ref.max > 0.0
+        assert got.max_abs_difference(ref) < 1e-9 * ref.max
+
+
+class TestBoundsBackend:
+    @pytest.mark.parametrize("index", ["kdtree", "balltree"])
+    def test_multiplicative_guarantee(self, index, clustered_points, bbox):
+        eps = 0.1
+        ref = kde_naive(KDVProblem(clustered_points, bbox, (12, 8), BW, "gaussian"))
+        got = kde_bounds(
+            KDVProblem(clustered_points, bbox, (12, 8), BW, "gaussian"),
+            eps=eps,
+            index=index,
+        )
+        rel = np.abs(got.values - ref.values) / np.maximum(ref.values, 1e-300)
+        assert rel.max() <= eps
+
+    def test_eps_zero_is_exact(self, small_points, bbox):
+        ref = kde_naive(KDVProblem(small_points, bbox, (8, 6), BW, "gaussian"))
+        got = kde_bounds(
+            KDVProblem(small_points, bbox, (8, 6), BW, "gaussian"), eps=0.0
+        )
+        assert got.max_abs_difference(ref) < 1e-9 * max(ref.max, 1.0)
+
+    def test_finite_support_far_pixels_zero(self, bbox):
+        pts = np.array([[1.0, 1.0], [1.5, 1.2]])
+        got = kde_bounds(KDVProblem(pts, bbox, (16, 12), 0.5, "quartic"), eps=0.1)
+        # Pixels far from both points must be exactly zero.
+        assert got.values[-1, -1] == 0.0
+
+    def test_rejects_weights(self, small_points, bbox, rng):
+        w = rng.uniform(size=small_points.shape[0])
+        with pytest.raises(ParameterError, match="weights"):
+            kde_bounds(KDVProblem(small_points, bbox, SIZE, BW, "gaussian", weights=w))
+
+    def test_rejects_bad_index(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="index"):
+            kde_bounds(KDVProblem(small_points, bbox, SIZE, BW, "gaussian"), index="rtree")
+
+    def test_rejects_negative_eps(self, small_points, bbox):
+        with pytest.raises(ParameterError):
+            kde_bounds(KDVProblem(small_points, bbox, SIZE, BW, "gaussian"), eps=-0.1)
+
+
+class TestSamplingBackend:
+    def test_sample_size_formula(self):
+        # m = ceil(ln(2/delta) / (2 eps^2))
+        assert sample_size(0.1, 0.05) == int(np.ceil(np.log(40.0) / 0.02))
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ParameterError):
+            sample_size(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            sample_size(0.1, 1.0)
+
+    def test_error_within_hoeffding_bound(self, clustered_points, bbox):
+        n = clustered_points.shape[0]
+        eps, delta = 0.08, 0.05
+        problem = KDVProblem(clustered_points, bbox, SIZE, BW, "quartic")
+        ref = kde_naive(problem)
+        got = kde_sampling(problem, eps=eps, delta=delta, seed=42)
+        k_max = 1.0  # quartic peak value
+        bound = eps * n * k_max
+        # Pointwise bound holds w.h.p.; allow the usual small slack since we
+        # check *all* pixels, not one.
+        frac_violating = (np.abs(got.values - ref.values) > bound).mean()
+        assert frac_violating < 0.05
+
+    def test_sample_ge_n_falls_back_exact(self, small_points, bbox):
+        problem = KDVProblem(small_points, bbox, SIZE, BW, "quartic")
+        ref = kde_naive(problem)
+        got = kde_sampling(problem, sample=10_000, seed=1)
+        assert got.max_abs_difference(ref) < 1e-8 * max(ref.max, 1.0)
+
+    def test_total_mass_unbiased(self, clustered_points, bbox):
+        problem = KDVProblem(clustered_points, bbox, SIZE, BW, "quartic")
+        ref = kde_naive(problem).values.sum()
+        masses = [
+            kde_sampling(problem, sample=100, seed=s).values.sum() for s in range(20)
+        ]
+        assert abs(np.mean(masses) - ref) < 0.15 * ref
+
+    def test_rejects_weights(self, small_points, bbox, rng):
+        w = rng.uniform(size=small_points.shape[0])
+        with pytest.raises(ParameterError, match="weights"):
+            kde_sampling(KDVProblem(small_points, bbox, SIZE, BW, "quartic", weights=w))
+
+
+class TestKdeGridAPI:
+    def test_auto_picks_exact_method(self, clustered_points, bbox):
+        auto = kde_grid(clustered_points, bbox, SIZE, BW, kernel="quartic")
+        naive = kde_grid(clustered_points, bbox, SIZE, BW, kernel="quartic", method="naive")
+        assert auto.max_abs_difference(naive) < 1e-7 * max(naive.max, 1.0)
+
+    def test_auto_gaussian_uses_grid(self, clustered_points, bbox):
+        auto = kde_grid(clustered_points, bbox, SIZE, BW, kernel="gaussian")
+        naive = kde_grid(clustered_points, bbox, SIZE, BW, kernel="gaussian", method="naive")
+        assert auto.max_abs_difference(naive) < 1e-8 * max(naive.max, 1.0)
+
+    def test_unknown_method(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="unknown KDV method"):
+            kde_grid(small_points, bbox, SIZE, BW, method="magic")
+
+    def test_normalize_integrates_to_one(self, clustered_points, bbox):
+        grid = kde_grid(
+            clustered_points, bbox, (96, 64), 1.0, kernel="quartic", normalize=True
+        )
+        dx, dy = bbox.pixel_size(96, 64)
+        total = grid.values.sum() * dx * dy
+        # Some kernel mass falls outside the window, so the integral is
+        # slightly below 1.
+        assert 0.8 < total <= 1.001
+
+    def test_invalid_bandwidth(self, small_points, bbox):
+        with pytest.raises(ParameterError):
+            kde_grid(small_points, bbox, SIZE, 0.0)
+
+    def test_invalid_size(self, small_points, bbox):
+        with pytest.raises(ParameterError):
+            kde_grid(small_points, bbox, (0, 5), BW)
+
+    def test_invalid_weights_length(self, small_points, bbox):
+        with pytest.raises(ParameterError):
+            kde_grid(small_points, bbox, SIZE, BW, weights=[1.0])
+
+    def test_bbox_type_checked(self, small_points):
+        with pytest.raises(ParameterError, match="BoundingBox"):
+            kde_grid(small_points, (0, 0, 1, 1), SIZE, BW)
+
+    def test_result_metadata(self, small_points, bbox):
+        grid = kde_grid(small_points, bbox, SIZE, BW)
+        assert grid.shape == SIZE
+        assert grid.bbox is bbox
+
+
+class TestEffectiveRadius:
+    def test_finite_kernel_keeps_support(self):
+        assert effective_radius(KERNELS["quartic"], 3.0) == 3.0
+
+    def test_gaussian_tail(self):
+        r = effective_radius(KERNELS["gaussian"], 1.0, tail=1e-12)
+        assert KERNELS["gaussian"].evaluate(r, 1.0) == pytest.approx(1e-12, rel=1e-6)
+
+
+class TestBandwidthRules:
+    def test_scott_scales_with_spread(self, rng):
+        tight = rng.normal(scale=1.0, size=(500, 2))
+        wide = rng.normal(scale=5.0, size=(500, 2))
+        assert scott_bandwidth(wide) > scott_bandwidth(tight)
+
+    def test_scott_shrinks_with_n(self, rng):
+        pts = rng.normal(size=(2000, 2))
+        assert scott_bandwidth(pts) < scott_bandwidth(pts[:100])
+
+    def test_silverman_equals_scott_in_2d(self, rng):
+        pts = rng.normal(size=(300, 2))
+        assert silverman_bandwidth(pts) == pytest.approx(scott_bandwidth(pts))
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(DataError):
+            scott_bandwidth([[1.0, 1.0]])
+        with pytest.raises(DataError):
+            scott_bandwidth([[1.0, 1.0], [1.0, 1.0]])

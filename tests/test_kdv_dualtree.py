@@ -1,0 +1,73 @@
+"""Tests for the dual-tree KDV backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.kdv import KDVProblem, kde_dualtree, kde_grid, kde_naive
+from repro.core.kernels import KERNELS
+from repro.errors import ParameterError
+
+SIZE = (24, 16)
+BW = 2.0
+
+
+class TestDualTreeGuarantee:
+    @pytest.mark.parametrize("kernel", ["gaussian", "quartic", "exponential"])
+    def test_absolute_error_bound(self, kernel, clustered_points, bbox):
+        tau = 0.5
+        problem = KDVProblem(clustered_points, bbox, SIZE, BW, kernel)
+        ref = kde_naive(problem)
+        got = kde_dualtree(problem, tau=tau)
+        assert got.max_abs_difference(ref) <= tau / 2 + 1e-9
+
+    def test_tau_zero_exact(self, small_points, bbox):
+        problem = KDVProblem(small_points, bbox, SIZE, BW, "gaussian")
+        ref = kde_naive(problem)
+        got = kde_dualtree(problem, tau=0.0)
+        assert got.max_abs_difference(ref) < 1e-9 * max(ref.max, 1.0)
+
+    def test_smaller_tau_more_accurate(self, clustered_points, bbox):
+        problem = KDVProblem(clustered_points, bbox, SIZE, BW, "gaussian")
+        ref = kde_naive(problem)
+        loose = kde_dualtree(problem, tau=5.0).max_abs_difference(ref)
+        tight = kde_dualtree(problem, tau=0.05).max_abs_difference(ref)
+        assert tight <= loose + 1e-12
+
+    def test_finite_support_zero_regions_exact(self, bbox):
+        pts = np.array([[1.0, 1.0], [2.0, 1.5]])
+        problem = KDVProblem(pts, bbox, SIZE, 0.5, "quartic")
+        got = kde_dualtree(problem, tau=1.0)
+        # Far corner must be exactly zero (pair pruned at k_hi == 0).
+        assert got.values[-1, -1] == 0.0
+
+    def test_api_dispatch(self, clustered_points, bbox):
+        grid = kde_grid(
+            clustered_points, bbox, SIZE, BW,
+            kernel="gaussian", method="dualtree", tau=0.1,
+        )
+        ref = kde_grid(clustered_points, bbox, SIZE, BW, kernel="gaussian", method="naive")
+        assert grid.max_abs_difference(ref) <= 0.05 + 1e-9
+
+    def test_rejects_weights(self, small_points, bbox, rng):
+        w = rng.uniform(size=small_points.shape[0])
+        problem = KDVProblem(small_points, bbox, SIZE, BW, "gaussian", weights=w)
+        with pytest.raises(ParameterError, match="weights"):
+            kde_dualtree(problem)
+
+    def test_rejects_negative_tau(self, small_points, bbox):
+        problem = KDVProblem(small_points, bbox, SIZE, BW, "gaussian")
+        with pytest.raises(ParameterError):
+            kde_dualtree(problem, tau=-1.0)
+
+    def test_single_pixel_grid(self, small_points, bbox):
+        problem = KDVProblem(small_points, bbox, (1, 1), BW, "gaussian")
+        ref = kde_naive(problem)
+        got = kde_dualtree(problem, tau=0.01)
+        assert got.max_abs_difference(ref) <= 0.005 + 1e-9
+
+    def test_duplicate_points(self, bbox):
+        pts = np.array([[5.0, 5.0]] * 50 + [[10.0, 8.0]] * 30)
+        problem = KDVProblem(pts, bbox, SIZE, BW, "gaussian")
+        ref = kde_naive(problem)
+        got = kde_dualtree(problem, tau=0.1)
+        assert got.max_abs_difference(ref) <= 0.05 + 1e-9

@@ -1,0 +1,129 @@
+"""Unit tests for the kernel functions (paper Table 2 + extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import KERNELS, get_kernel
+from repro.errors import ParameterError
+
+ALL_KERNELS = sorted(KERNELS)
+FINITE = ["uniform", "epanechnikov", "quartic", "triangular", "cosine"]
+POLY = ["uniform", "epanechnikov", "quartic"]
+
+
+class TestRegistry:
+    def test_table2_kernels_present(self):
+        for name in ("uniform", "epanechnikov", "quartic", "gaussian"):
+            assert name in KERNELS
+
+    def test_extension_kernels_present(self):
+        for name in ("triangular", "cosine", "exponential"):
+            assert name in KERNELS
+
+    def test_get_by_name_and_instance(self):
+        k = get_kernel("quartic")
+        assert get_kernel(k) is k
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError, match="unknown kernel"):
+            get_kernel("box")
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+class TestKernelContracts:
+    def test_non_negative(self, name):
+        k = KERNELS[name]
+        d = np.linspace(0, 5, 200)
+        assert (k.evaluate(d, 2.0) >= 0).all()
+
+    def test_monotone_non_increasing(self, name):
+        k = KERNELS[name]
+        d = np.linspace(0, 5, 200)
+        vals = k.evaluate(d, 2.0)
+        assert (np.diff(vals) <= 1e-12).all()
+
+    def test_zero_beyond_support(self, name):
+        k = KERNELS[name]
+        r = k.support_radius(2.0)
+        if np.isfinite(r):
+            assert k.evaluate(r * 1.001, 2.0) == 0.0
+
+    def test_evaluate_matches_evaluate_sq(self, name):
+        k = KERNELS[name]
+        d = np.linspace(0, 4, 50)
+        np.testing.assert_allclose(
+            k.evaluate(d, 1.5), k.evaluate_sq(d * d, 1.5), atol=1e-12
+        )
+
+    def test_integral_matches_numeric(self, name):
+        """The closed-form plane integral must match polar quadrature."""
+        k = KERNELS[name]
+        b = 1.7
+        r_max = k.support_radius(b)
+        if not np.isfinite(r_max):
+            r_max = k.effective_radius(b, tail=1e-16)
+        r = np.linspace(0, r_max, 200_001)
+        vals = k.evaluate(r, b) * r
+        numeric = 2.0 * np.pi * np.trapezoid(vals, r)
+        assert numeric == pytest.approx(k.integral(b), rel=1e-4)
+
+    def test_bandwidth_validation(self, name):
+        k = KERNELS[name]
+        with pytest.raises(ParameterError):
+            k.evaluate(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            k.integral(-1.0)
+
+
+@pytest.mark.parametrize("name", POLY)
+class TestPolynomialCoefficients:
+    def test_poly_matches_kernel_inside_support(self, name):
+        k = KERNELS[name]
+        b = 2.5
+        coeffs = k.poly_coeffs(b)
+        d = np.linspace(0, b * 0.999, 100)
+        poly = sum(c * (d * d) ** j for j, c in enumerate(coeffs))
+        np.testing.assert_allclose(poly, k.evaluate(d, b), atol=1e-12)
+
+
+class TestSpecificValues:
+    def test_uniform_value(self):
+        assert KERNELS["uniform"].evaluate(0.5, 2.0) == pytest.approx(0.5)
+        assert KERNELS["uniform"].evaluate(2.5, 2.0) == 0.0
+
+    def test_epanechnikov_at_zero_and_boundary(self):
+        k = KERNELS["epanechnikov"]
+        assert k.evaluate(0.0, 3.0) == pytest.approx(1.0)
+        assert k.evaluate(3.0, 3.0) == pytest.approx(0.0)
+
+    def test_quartic_is_epanechnikov_squared(self):
+        d = np.linspace(0, 2, 30)
+        e = KERNELS["epanechnikov"].evaluate(d, 2.0)
+        q = KERNELS["quartic"].evaluate(d, 2.0)
+        np.testing.assert_allclose(q, e * e, atol=1e-12)
+
+    def test_gaussian_paper_convention(self):
+        # K = exp(-d^2/b^2): at d = b the value is exactly 1/e.
+        assert KERNELS["gaussian"].evaluate(2.0, 2.0) == pytest.approx(np.exp(-1.0))
+
+    def test_gaussian_effective_radius(self):
+        k = KERNELS["gaussian"]
+        r = k.effective_radius(2.0, tail=1e-6)
+        assert k.evaluate(r, 2.0) == pytest.approx(1e-6, rel=1e-9)
+
+    def test_exponential_effective_radius(self):
+        k = KERNELS["exponential"]
+        r = k.effective_radius(1.5, tail=1e-8)
+        assert k.evaluate(r, 1.5) == pytest.approx(1e-8, rel=1e-9)
+
+    def test_gaussian_has_no_poly_form(self):
+        assert KERNELS["gaussian"].poly_coeffs(1.0) is None
+        assert KERNELS["exponential"].poly_coeffs(1.0) is None
+        assert KERNELS["triangular"].poly_coeffs(1.0) is None
+        assert KERNELS["cosine"].poly_coeffs(1.0) is None
+
+    def test_cosine_at_zero(self):
+        assert KERNELS["cosine"].evaluate(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_triangular_midpoint(self):
+        assert KERNELS["triangular"].evaluate(1.0, 2.0) == pytest.approx(0.5)

@@ -1,0 +1,129 @@
+"""Tests for the cross-K function and the local K-function."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import (
+    cross_k_function,
+    cross_k_function_plot,
+    local_k_function,
+)
+from repro.data import csr, thomas
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox
+
+
+def brute_cross(a, b, thresholds):
+    d = np.sqrt(((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2))
+    return np.array([(d <= s).sum() for s in thresholds])
+
+
+class TestCrossK:
+    def test_matches_brute_force(self, bbox):
+        a = csr(80, bbox, seed=31)
+        b = csr(120, bbox, seed=32)
+        ts = np.array([0.5, 1.5, 3.0])
+        np.testing.assert_array_equal(
+            cross_k_function(a, b, ts), brute_cross(a, b, ts)
+        )
+
+    def test_asymmetric_counts_equal(self, bbox):
+        """K_AB and K_BA count the same unordered pairs."""
+        a = csr(50, bbox, seed=33)
+        b = csr(70, bbox, seed=34)
+        ts = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(
+            cross_k_function(a, b, ts), cross_k_function(b, a, ts)
+        )
+
+    def test_coincident_points_count(self):
+        a = np.array([[1.0, 1.0]])
+        b = np.array([[1.0, 1.0], [5.0, 5.0]])
+        counts = cross_k_function(a, b, np.array([0.0, 10.0]))
+        assert counts.tolist() == [1, 2]
+
+    def test_monotone(self, bbox):
+        a = csr(60, bbox, seed=35)
+        b = csr(60, bbox, seed=36)
+        counts = cross_k_function(a, b, np.linspace(0.2, 5.0, 10))
+        assert (np.diff(counts) >= 0).all()
+
+
+class TestCrossKPlot:
+    def test_attraction_detected(self, bbox):
+        """B events planted around A events must show attraction."""
+        rng = np.random.default_rng(37)
+        a = csr(80, bbox, seed=38)
+        b = a[rng.integers(0, 80, size=160)] + rng.normal(0, 0.2, size=(160, 2))
+        b = bbox.clip(b)
+        plot = cross_k_function_plot(
+            a, b, np.array([0.3, 0.6, 1.0]), n_simulations=39, seed=39
+        )
+        assert plot.attraction_mask().any()
+        assert "attraction" in plot.classify()
+
+    def test_repulsion_detected(self, bbox):
+        """A on the left half, B on the right half -> repulsion at small s."""
+        left = BoundingBox(bbox.xmin, bbox.ymin, bbox.center[0] - 2.0, bbox.ymax)
+        right = BoundingBox(bbox.center[0] + 2.0, bbox.ymin, bbox.xmax, bbox.ymax)
+        a = csr(80, left, seed=40)
+        b = csr(80, right, seed=41)
+        plot = cross_k_function_plot(
+            a, b, np.array([1.0, 2.0, 3.0]), n_simulations=39, seed=42
+        )
+        assert plot.repulsion_mask().any()
+
+    def test_independent_labels_inside(self, bbox):
+        """Random halves of one clustered pattern are label-independent."""
+        pts = thomas(200, 4, 0.5, bbox, seed=43)
+        rng = np.random.default_rng(44)
+        perm = rng.permutation(200)
+        a, b = pts[perm[:100]], pts[perm[100:]]
+        plot = cross_k_function_plot(
+            a, b, np.array([0.5, 1.5]), n_simulations=39, seed=45
+        )
+        outside = plot.attraction_mask().sum() + plot.repulsion_mask().sum()
+        assert outside <= 1
+
+    def test_zero_sims_rejected(self, bbox):
+        a = csr(10, bbox, seed=46)
+        with pytest.raises(ParameterError):
+            cross_k_function_plot(a, a, [1.0], n_simulations=0)
+
+
+class TestLocalK:
+    def test_counts_match_brute(self, bbox, random_points):
+        ts = np.array([1.0, 2.5])
+        result = local_k_function(random_points, ts, bbox)
+        d = np.sqrt(
+            ((random_points[:, None, :] - random_points[None, :, :]) ** 2).sum(axis=2)
+        )
+        for col, s in enumerate(ts):
+            brute = (d <= s).sum(axis=1) - 1
+            np.testing.assert_array_equal(result.counts[:, col], brute)
+
+    def test_cluster_members_flagged(self, bbox):
+        cluster = thomas(150, 1, 0.4, bbox, seed=47, centers=np.array([[10.0, 6.0]]))
+        background = csr(50, bbox, seed=48)
+        pts = np.vstack([cluster, background])
+        result = local_k_function(pts, np.array([1.0]), bbox)
+        members = result.cluster_members(0)
+        assert members[:150].mean() > 0.9  # cluster points flagged
+
+    def test_csr_few_members(self, bbox):
+        pts = csr(200, bbox, seed=49)
+        result = local_k_function(pts, np.array([1.0]), bbox)
+        # Under CSR ~2.5% of one-sided z > 1.96 by chance.
+        assert result.cluster_members(0).mean() < 0.15
+
+    def test_z_scores_shape(self, bbox, small_points):
+        ts = np.array([0.5, 1.0, 2.0])
+        result = local_k_function(small_points, ts, bbox)
+        assert result.z_scores.shape == (small_points.shape[0], 3)
+        assert np.isfinite(result.z_scores).all()
+
+    def test_validation(self, bbox):
+        with pytest.raises(ParameterError):
+            local_k_function([[1.0, 1.0]], [1.0], bbox)
+        with pytest.raises(ParameterError):
+            local_k_function([[1.0, 1.0], [2.0, 2.0]], [1.0], "not a bbox")

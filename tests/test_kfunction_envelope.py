@@ -1,0 +1,78 @@
+"""Tests for K-function plots with Monte-Carlo envelopes (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import KFunctionPlot, k_function_plot
+from repro.data import csr, inhibited, thomas
+from repro.errors import ParameterError
+
+THRESHOLDS = np.array([0.4, 0.8, 1.2, 1.6, 2.0])
+
+
+class TestFigure2Regimes:
+    """The three regimes the paper's Figure 2 annotates."""
+
+    def test_clustered_dataset_above_upper(self, bbox):
+        pts = thomas(300, 3, 0.4, bbox, seed=21)
+        plot = k_function_plot(pts, bbox, THRESHOLDS, n_simulations=39, seed=22)
+        assert plot.clustered_mask().any()
+        assert "clustered" in plot.classify()
+
+    def test_csr_dataset_mostly_inside(self, bbox):
+        pts = csr(300, bbox, seed=23)
+        plot = k_function_plot(pts, bbox, THRESHOLDS, n_simulations=39, seed=24)
+        # Pointwise envelopes at 39 sims: allow one marginal excursion.
+        outside = plot.clustered_mask().sum() + plot.dispersed_mask().sum()
+        assert outside <= 1
+
+    def test_dispersed_dataset_below_lower(self, bbox):
+        pts = inhibited(300, 0.7, bbox, seed=25)
+        plot = k_function_plot(pts, bbox, THRESHOLDS, n_simulations=39, seed=26)
+        assert plot.dispersed_mask().any()
+        assert "dispersed" in plot.classify()
+
+
+class TestPlotMechanics:
+    def test_envelope_ordering(self, bbox, random_points):
+        plot = k_function_plot(random_points, bbox, THRESHOLDS, n_simulations=9, seed=1)
+        assert (plot.lower <= plot.upper).all()
+
+    def test_reproducible_with_seed(self, bbox, small_points):
+        a = k_function_plot(small_points, bbox, THRESHOLDS, n_simulations=5, seed=3)
+        b = k_function_plot(small_points, bbox, THRESHOLDS, n_simulations=5, seed=3)
+        np.testing.assert_array_equal(a.lower, b.lower)
+        np.testing.assert_array_equal(a.upper, b.upper)
+
+    def test_more_simulations_widen_envelope(self, bbox, small_points):
+        few = k_function_plot(small_points, bbox, THRESHOLDS, n_simulations=5, seed=4)
+        many = k_function_plot(small_points, bbox, THRESHOLDS, n_simulations=50, seed=4)
+        assert (many.upper >= few.upper).all()
+        assert (many.lower <= few.lower).all()
+
+    def test_clustered_thresholds_subset(self, bbox):
+        pts = thomas(250, 3, 0.4, bbox, seed=27)
+        plot = k_function_plot(pts, bbox, THRESHOLDS, n_simulations=19, seed=28)
+        chosen = plot.clustered_thresholds()
+        assert set(chosen.tolist()) <= set(THRESHOLDS.tolist())
+
+    def test_rows_format(self, bbox, small_points):
+        plot = k_function_plot(small_points, bbox, THRESHOLDS, n_simulations=5, seed=5)
+        rows = plot.rows()
+        assert len(rows) == THRESHOLDS.shape[0]
+        s, k, lo, hi, regime = rows[0]
+        assert regime in ("clustered", "random", "dispersed")
+
+    def test_rejects_zero_simulations(self, bbox, small_points):
+        with pytest.raises(ParameterError):
+            k_function_plot(small_points, bbox, THRESHOLDS, n_simulations=0)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ParameterError):
+            KFunctionPlot(
+                thresholds=np.array([1.0, 2.0]),
+                observed=np.array([1.0]),
+                lower=np.array([0.0, 0.0]),
+                upper=np.array([1.0, 1.0]),
+                n_simulations=1,
+            )

@@ -1,0 +1,127 @@
+"""Tests for the network K-function."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import (
+    network_k_function,
+    network_k_function_plot,
+    network_ripley_k,
+)
+from repro.data import network_accidents
+from repro.errors import ParameterError
+from repro.network import (
+    NetworkPosition,
+    grid_network,
+    position_to_position_distance,
+    two_corridor_network,
+)
+
+THRESHOLDS = np.array([0.5, 1.0, 2.0, 4.0])
+
+
+def brute_counts(network, events, thresholds, include_self=False):
+    n = len(events)
+    d = np.array(
+        [
+            [position_to_position_distance(network, a, b) for b in events]
+            for a in events
+        ]
+    )
+    out = []
+    for s in thresholds:
+        c = int((d <= s).sum())
+        if not include_self:
+            c -= n
+        out.append(c)
+    return np.array(out)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("method", ["naive", "shared"])
+    def test_matches_pairwise_dijkstra(self, method, road_network):
+        events = network_accidents(road_network, 30, seed=31)
+        got = network_k_function(road_network, events, THRESHOLDS, method=method)
+        np.testing.assert_array_equal(
+            got, brute_counts(road_network, events, THRESHOLDS)
+        )
+
+    def test_methods_agree_larger(self, road_network, road_events):
+        a = network_k_function(road_network, road_events, THRESHOLDS, method="naive")
+        b = network_k_function(road_network, road_events, THRESHOLDS, method="shared")
+        np.testing.assert_array_equal(a, b)
+
+    def test_include_self(self, road_network, road_events):
+        a = network_k_function(road_network, road_events, THRESHOLDS)
+        b = network_k_function(
+            road_network, road_events, THRESHOLDS, include_self=True
+        )
+        np.testing.assert_array_equal(b - a, [len(road_events)] * THRESHOLDS.shape[0])
+
+    def test_same_edge_direct_path(self):
+        """Two events on one edge must use the along-edge distance."""
+        net = grid_network(2, 2, spacing=10.0)
+        events = [NetworkPosition(0, 1.0), NetworkPosition(0, 3.0)]
+        counts = network_k_function(net, events, np.array([1.9, 2.1]))
+        assert counts.tolist() == [0, 2]
+
+    def test_monotone(self, road_network, road_events):
+        counts = network_k_function(
+            road_network, road_events, np.linspace(0.2, 5.0, 8)
+        )
+        assert (np.diff(counts) >= 0).all()
+
+    def test_unknown_method(self, road_network, road_events):
+        with pytest.raises(ParameterError, match="unknown network K"):
+            network_k_function(road_network, road_events, [1.0], method="warp")
+
+    def test_empty_events(self, road_network):
+        with pytest.raises(ParameterError, match="empty"):
+            network_k_function(road_network, [], [1.0])
+
+
+class TestFigure3Semantics:
+    def test_euclidean_close_network_far_pairs_not_counted(self):
+        """Corridor gadget: Euclidean K sees neighbours the network K must not."""
+        net = two_corridor_network(length=10.0, gap=0.5, segments=10)
+        a = NetworkPosition(0, 0.2)  # lower corridor, near x=0
+        b = net.snap_points([[0.2, 0.5]])[0]  # upper corridor, near x=0
+        # Euclidean distance ~0.5, network distance ~20.
+        counts = network_k_function(net, [a, b], np.array([1.0, 25.0]))
+        assert counts[0] == 0  # not neighbours at s=1 on the network
+        assert counts[1] == 2  # but reachable around the connector
+
+
+class TestNormalisationAndPlot:
+    def test_ripley_positive_monotone(self, road_network, road_events):
+        k = network_ripley_k(road_network, road_events, THRESHOLDS)
+        assert (k >= 0).all()
+        assert (np.diff(k) >= 0).all()
+
+    def test_ripley_needs_two(self, road_network):
+        with pytest.raises(ParameterError):
+            network_ripley_k(road_network, [NetworkPosition(0, 0.1)], [1.0])
+
+    def test_plot_detects_edge_hotspots(self, road_network, rng):
+        events = network_accidents(
+            road_network, 80, hotspot_edges=[0, 1, 2], hotspot_fraction=0.9, seed=32
+        )
+        plot = network_k_function_plot(
+            road_network, events, np.array([0.5, 1.0, 2.0]),
+            n_simulations=19, seed=33,
+        )
+        assert plot.clustered_mask().any()
+
+    def test_plot_uniform_inside_envelope(self, road_network, rng):
+        events = road_network.sample_positions(60, rng)
+        plot = network_k_function_plot(
+            road_network, events, np.array([1.0, 2.0]), n_simulations=39, seed=34
+        )
+        outside = plot.clustered_mask().sum() + plot.dispersed_mask().sum()
+        assert outside <= 1
+
+    def test_plot_classify(self, road_network, road_events):
+        plot = network_k_function_plot(
+            road_network, road_events, THRESHOLDS, n_simulations=5, seed=35
+        )
+        assert len(plot.classify()) == THRESHOLDS.shape[0]

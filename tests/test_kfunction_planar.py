@@ -1,0 +1,127 @@
+"""Tests for the planar K-function and Ripley/L normalisations."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import k_function, l_function, ripley_k
+from repro.data import csr
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox, pairwise_distances
+
+
+def brute_counts(points, thresholds, include_self=False):
+    d = pairwise_distances(points)
+    out = []
+    for s in thresholds:
+        c = int((d <= s).sum())
+        if not include_self:
+            c -= points.shape[0]
+        out.append(c)
+    return np.array(out)
+
+
+class TestMethodAgreement:
+    THRESHOLDS = np.array([0.3, 0.8, 1.5, 3.0, 6.0])
+
+    @pytest.mark.parametrize("method", ["naive", "grid", "kdtree"])
+    def test_matches_brute_force(self, method, clustered_points):
+        got = k_function(clustered_points, self.THRESHOLDS, method=method)
+        np.testing.assert_array_equal(got, brute_counts(clustered_points, self.THRESHOLDS))
+
+    @pytest.mark.parametrize("method", ["naive", "grid", "kdtree"])
+    def test_include_self_adds_n(self, method, small_points):
+        ts = np.array([1.0, 2.0])
+        a = k_function(small_points, ts, method=method)
+        b = k_function(small_points, ts, method=method, include_self=True)
+        np.testing.assert_array_equal(b - a, [small_points.shape[0]] * 2)
+
+    def test_auto_equals_grid(self, random_points):
+        ts = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(
+            k_function(random_points, ts),
+            k_function(random_points, ts, method="grid"),
+        )
+
+    def test_chunked_naive_matches(self, random_points):
+        ts = np.array([0.5, 2.5])
+        np.testing.assert_array_equal(
+            k_function(random_points, ts, method="naive", chunk=7),
+            k_function(random_points, ts, method="naive", chunk=10_000),
+        )
+
+    def test_monotone_in_threshold(self, clustered_points):
+        counts = k_function(clustered_points, np.linspace(0.1, 5.0, 10))
+        assert (np.diff(counts) >= 0).all()
+
+    def test_zero_threshold(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        counts = k_function(pts, np.array([0.0]))
+        assert counts[0] == 2  # the coincident pair, both directions
+
+    def test_unknown_method(self, small_points):
+        with pytest.raises(ParameterError, match="unknown K-function"):
+            k_function(small_points, [1.0], method="quantum")
+
+    def test_counts_even(self, random_points):
+        """Ordered-pair counts without self-pairs are always even."""
+        counts = k_function(random_points, np.array([1.0, 3.0]))
+        assert (counts % 2 == 0).all()
+
+
+class TestEdgeCorrection:
+    def test_torus_requires_bbox(self, small_points):
+        with pytest.raises(ParameterError, match="bbox"):
+            k_function(small_points, [1.0], method="naive", edge_correction="torus")
+
+    def test_torus_only_naive(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="naive"):
+            k_function(
+                small_points, [1.0], method="grid",
+                bbox=bbox, edge_correction="torus",
+            )
+
+    def test_torus_counts_at_least_plain(self, random_points, bbox):
+        """Wrapping can only shrink distances, so counts cannot drop."""
+        ts = np.array([1.0, 3.0])
+        plain = k_function(random_points, ts, method="naive")
+        torus = k_function(
+            random_points, ts, method="naive", bbox=bbox, edge_correction="torus"
+        )
+        assert (torus >= plain).all()
+
+    def test_torus_removes_csr_bias(self, bbox):
+        """Under CSR, torus-corrected Ripley K should track pi s^2 closely."""
+        pts = csr(600, bbox, seed=55)
+        s = np.array([1.0])
+        k_plain = ripley_k(pts, s, bbox, method="naive")
+        k_torus = ripley_k(pts, s, bbox, method="naive", edge_correction="torus")
+        truth = np.pi * s ** 2
+        assert abs(k_torus[0] - truth[0]) < abs(k_plain[0] - truth[0]) + 0.05
+
+    def test_bad_edge_correction(self, small_points):
+        with pytest.raises(ParameterError):
+            k_function(small_points, [1.0], edge_correction="border")
+
+
+class TestNormalisations:
+    def test_ripley_csr_approximates_pi_s_squared(self, bbox):
+        pts = csr(800, bbox, seed=77)
+        s = np.array([0.5, 1.0])
+        k = ripley_k(pts, s, bbox, method="naive", edge_correction="torus")
+        np.testing.assert_allclose(k, np.pi * s ** 2, rtol=0.25)
+
+    def test_l_function_csr_close_to_identity(self, bbox):
+        pts = csr(800, bbox, seed=78)
+        s = np.array([0.5, 1.0])
+        l_vals = l_function(pts, s, bbox, method="naive", edge_correction="torus")
+        np.testing.assert_allclose(l_vals, s, rtol=0.15)
+
+    def test_ripley_needs_two_points(self, bbox):
+        with pytest.raises(ParameterError):
+            ripley_k([[1.0, 1.0]], [1.0], bbox)
+
+    def test_clustered_exceeds_csr(self, clustered_points, random_points, bbox):
+        s = np.array([0.8])
+        k_clu = ripley_k(clustered_points, s, bbox)
+        k_csr = ripley_k(random_points, s, bbox)
+        assert k_clu[0] > 2.0 * k_csr[0]

@@ -1,0 +1,105 @@
+"""Tests for ordinary kriging."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import (
+    VariogramModel,
+    kriging_grid,
+    ordinary_kriging,
+)
+from repro.errors import DataError, ParameterError
+from repro.geometry import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(91)
+    pts = rng.uniform(0, 10, size=(60, 2))
+    vals = np.sin(pts[:, 0] * 0.7) + 0.4 * np.cos(pts[:, 1] * 0.5)
+    return pts, vals
+
+
+@pytest.fixture(scope="module")
+def model():
+    return VariogramModel("exponential", nugget=0.0, psill=1.0, range_=3.0)
+
+
+class TestExactnessAndVariance:
+    def test_exact_at_samples_zero_nugget(self, field, model):
+        pts, vals = field
+        res = ordinary_kriging(pts, vals, pts, model, k_neighbors=12)
+        np.testing.assert_allclose(res.predictions, vals, atol=1e-6)
+
+    def test_variance_zero_at_samples(self, field, model):
+        pts, vals = field
+        res = ordinary_kriging(pts, vals, pts, model, k_neighbors=12)
+        assert res.variances.max() < 1e-6
+
+    def test_variance_grows_away_from_samples(self, field, model):
+        pts, vals = field
+        near = pts[0] + np.array([0.05, 0.0])
+        far = np.array([50.0, 50.0])
+        res = ordinary_kriging(pts, vals, [near, far], model, k_neighbors=12)
+        assert res.variances[1] > res.variances[0]
+
+    def test_variance_non_negative(self, field, model, rng):
+        pts, vals = field
+        queries = rng.uniform(0, 10, size=(40, 2))
+        res = ordinary_kriging(pts, vals, queries, model, k_neighbors=8)
+        assert (res.variances >= 0).all()
+
+    def test_unbiasedness_constant_field(self, model, rng):
+        """Kriging a constant field must return that constant everywhere."""
+        pts = rng.uniform(0, 10, size=(30, 2))
+        vals = np.full(30, 3.7)
+        queries = rng.uniform(0, 10, size=(10, 2))
+        res = ordinary_kriging(pts, vals, queries, model, k_neighbors=10)
+        np.testing.assert_allclose(res.predictions, 3.7, atol=1e-8)
+
+    def test_global_matches_local_with_full_neighborhood(self, field, model):
+        pts, vals = field
+        queries = pts[:5] + 0.1
+        a = ordinary_kriging(pts, vals, queries, model, k_neighbors=None)
+        b = ordinary_kriging(pts, vals, queries, model, k_neighbors=pts.shape[0])
+        np.testing.assert_allclose(a.predictions, b.predictions, atol=1e-6)
+
+
+class TestKrigingGrid:
+    def test_auto_fit_and_shapes(self, field):
+        pts, vals = field
+        bbox = BoundingBox(0, 0, 10, 10)
+        pred, var, fitted = kriging_grid(pts, vals, bbox, (8, 8), seed=2)
+        assert pred.shape == (8, 8)
+        assert var.shape == (8, 8)
+        assert fitted.sill > 0
+
+    def test_explicit_model_used(self, field, model):
+        pts, vals = field
+        bbox = BoundingBox(0, 0, 10, 10)
+        pred, var, fitted = kriging_grid(pts, vals, bbox, (6, 6), model=model)
+        assert fitted is model
+
+    def test_prediction_reasonable_between_samples(self, field, model):
+        pts, vals = field
+        bbox = BoundingBox(0, 0, 10, 10)
+        pred, _, _ = kriging_grid(pts, vals, bbox, (12, 12), model=model)
+        assert pred.values.min() > vals.min() - 1.0
+        assert pred.values.max() < vals.max() + 1.0
+
+
+class TestValidation:
+    def test_needs_two_samples(self, model):
+        with pytest.raises(DataError):
+            ordinary_kriging([[0.0, 0.0]], [1.0], [[1.0, 1.0]], model)
+
+    def test_bad_k(self, field, model):
+        pts, vals = field
+        with pytest.raises(ParameterError):
+            ordinary_kriging(pts, vals, [[0, 0]], model, k_neighbors=1)
+
+    def test_duplicate_samples_survive_jitter(self, model):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0], [3.0, 1.0]])
+        vals = np.array([1.0, 1.0, 2.0, 3.0])
+        res = ordinary_kriging(pts, vals, [[1.5, 1.5]], model, k_neighbors=4)
+        assert np.isfinite(res.predictions).all()

@@ -1,0 +1,160 @@
+"""Edge cases and smaller contracts not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.kdv import KDVProblem
+from repro.errors import (
+    ConvergenceError,
+    DataError,
+    NetworkError,
+    ParameterError,
+    ReproError,
+)
+from repro.raster import Colormap, get_colormap
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ParameterError, DataError, NetworkError, ConvergenceError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Parameter/Data errors double as ValueError for generic callers."""
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(DataError, ValueError)
+
+    def test_single_catch_site(self, bbox):
+        with pytest.raises(ReproError):
+            repro.kde_grid([[1.0, 1.0]], bbox, (4, 4), -1.0)
+
+
+class TestColormapValidation:
+    def test_needs_two_stops(self):
+        with pytest.raises(ParameterError):
+            Colormap("x", [(0.0, (0, 0, 0))])
+
+    def test_endpoints_enforced(self):
+        with pytest.raises(ParameterError):
+            Colormap("x", [(0.1, (0, 0, 0)), (1.0, (255, 255, 255))])
+
+    def test_strictly_increasing(self):
+        with pytest.raises(ParameterError):
+            Colormap("x", [(0.0, (0, 0, 0)), (0.5, (1, 1, 1)), (0.5, (2, 2, 2)), (1.0, (3, 3, 3))])
+
+    def test_rgb_range(self):
+        with pytest.raises(ParameterError):
+            Colormap("x", [(0.0, (0, 0, 0)), (1.0, (300, 0, 0))])
+
+    def test_custom_colormap_usable(self, bbox):
+        cmap = Colormap("custom", [(0.0, (0, 0, 255)), (1.0, (255, 0, 0))])
+        grid = repro.DensityGrid(bbox, np.random.default_rng(1).uniform(size=(8, 6)))
+        image = repro.raster.render_rgb(grid, cmap)
+        assert image.shape == (6, 8, 3)
+
+    def test_get_colormap_passthrough_by_name_only(self):
+        assert get_colormap("heat").name == "heat"
+
+
+class TestKDVProblemContracts:
+    def test_total_weight(self, small_points, bbox):
+        p = KDVProblem(small_points, bbox, (4, 4), 1.0, "quartic")
+        assert p.total_weight() == small_points.shape[0]
+        w = np.full(small_points.shape[0], 0.5)
+        pw = KDVProblem(small_points, bbox, (4, 4), 1.0, "quartic", weights=w)
+        assert pw.total_weight() == pytest.approx(0.5 * small_points.shape[0])
+
+    def test_negative_weights_rejected(self, small_points, bbox):
+        w = -np.ones(small_points.shape[0])
+        with pytest.raises(ParameterError):
+            KDVProblem(small_points, bbox, (4, 4), 1.0, "quartic", weights=w)
+
+    def test_normalization_positive(self, small_points, bbox):
+        p = KDVProblem(small_points, bbox, (4, 4), 1.0, "gaussian")
+        assert p.normalization() > 0
+
+    def test_zero_weight_normalization_rejected(self, small_points, bbox):
+        w = np.zeros(small_points.shape[0])
+        p = KDVProblem(small_points, bbox, (4, 4), 1.0, "quartic", weights=w)
+        with pytest.raises(ParameterError):
+            p.normalization()
+
+
+class TestNormalizedDensities:
+    def test_gaussian_normalized_integrates_to_one(self, bbox):
+        """With infinite-support kernels, normalize=True gives a density."""
+        rng = np.random.default_rng(7)
+        # Points well inside the window so little mass escapes it.
+        pts = np.column_stack([
+            rng.normal(bbox.center[0], 1.0, 400),
+            rng.normal(bbox.center[1], 1.0, 400),
+        ])
+        grid = repro.kde_grid(pts, bbox, (96, 64), 1.0, kernel="gaussian", normalize=True)
+        dx, dy = bbox.pixel_size(96, 64)
+        assert grid.values.sum() * dx * dy == pytest.approx(1.0, abs=0.05)
+
+    def test_weighted_normalization(self, bbox, rng):
+        pts = bbox.sample_uniform(100, rng)
+        w = rng.uniform(0.5, 2.0, 100)
+        grid = repro.kde_grid(
+            pts, bbox, (64, 48), 1.0, kernel="quartic", weights=w, normalize=True
+        )
+        dx, dy = bbox.pixel_size(64, 48)
+        total = grid.values.sum() * dx * dy
+        assert 0.7 < total <= 1.001  # boundary mass loss only
+
+
+class TestNetworkMisc:
+    def test_positions_coords_batch(self, road_network, rng):
+        positions = road_network.sample_positions(10, rng)
+        coords = road_network.positions_coords(positions)
+        assert coords.shape == (10, 2)
+        for pos, xy in zip(positions, coords):
+            np.testing.assert_allclose(road_network.position_coords(pos), xy)
+
+    def test_network_total_length_grid(self):
+        net = repro.network.grid_network(3, 3, spacing=2.0)
+        # 3x3 lattice: 12 unit edges of length 2.
+        assert net.total_length == pytest.approx(24.0)
+
+    def test_event_weights_validation(self, road_network, road_events):
+        with pytest.raises(ParameterError, match="event_weights"):
+            repro.nkdv(road_network, road_events, 0.5, 1.0, event_weights=[1.0])
+        with pytest.raises(ParameterError):
+            repro.nkdv(
+                road_network, road_events, 0.5, 1.0,
+                event_weights=-np.ones(len(road_events)),
+            )
+
+    def test_nkdv_weights_scale_linearly(self, road_network, road_events):
+        base = repro.nkdv(road_network, road_events, 0.5, 1.0)
+        doubled = repro.nkdv(
+            road_network, road_events, 0.5, 1.0,
+            event_weights=np.full(len(road_events), 2.0),
+        )
+        np.testing.assert_allclose(doubled.densities, 2.0 * base.densities, rtol=1e-12)
+
+
+class TestLFunctionSemantics:
+    def test_l_minus_s_sign_tracks_clustering(self, bbox):
+        from repro.data import csr, thomas
+
+        s = np.array([1.0])
+        clustered = thomas(500, 4, 0.4, bbox, seed=601)
+        uniform = csr(500, bbox, seed=602)
+        l_clu = repro.l_function(clustered, s, bbox)
+        l_uni = repro.l_function(uniform, s, bbox)
+        assert l_clu[0] - s[0] > 0.3  # strongly positive under clustering
+        assert abs(l_uni[0] - s[0]) < 0.3
+
+
+class TestDatasetReprLike:
+    def test_time_range(self):
+        ds = repro.data.hk_covid(50, 50, seed=603)
+        lo, hi = ds.time_range
+        assert 0.0 <= lo < hi <= 200.0
+
+    def test_spatial_dataset_n(self, bbox, small_points):
+        ds = repro.data.SpatialDataset("t", small_points, bbox)
+        assert ds.n == small_points.shape[0]

@@ -1,0 +1,213 @@
+"""Unit tests for the road-network substrate (graph, positions, lixels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError, ParameterError
+from repro.network import (
+    NetworkPosition,
+    RoadNetwork,
+    grid_network,
+    lixelize,
+    node_distances,
+    position_distances,
+    position_to_position_distance,
+    radial_network,
+    random_geometric_network,
+    two_corridor_network,
+)
+
+
+@pytest.fixture()
+def path_network():
+    """A simple 4-node path: 0 -1- 1 -2- 2 -1- 3 (lengths on edges)."""
+    coords = [[0.0, 0.0], [1.0, 0.0], [3.0, 0.0], [4.0, 0.0]]
+    return RoadNetwork(coords, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestRoadNetworkConstruction:
+    def test_euclidean_lengths(self, path_network):
+        np.testing.assert_allclose(path_network.edge_lengths, [1.0, 2.0, 1.0])
+
+    def test_total_length(self, path_network):
+        assert path_network.total_length == pytest.approx(4.0)
+
+    def test_explicit_lengths(self):
+        net = RoadNetwork([[0, 0], [1, 0]], [(0, 1)], lengths=[5.0])
+        assert net.edge_lengths[0] == 5.0
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(NetworkError, match="self-loop"):
+            RoadNetwork([[0, 0], [1, 0]], [(0, 0)])
+
+    def test_rejects_bad_node_id(self):
+        with pytest.raises(NetworkError, match="node id"):
+            RoadNetwork([[0, 0], [1, 0]], [(0, 5)])
+
+    def test_rejects_no_edges(self):
+        with pytest.raises(NetworkError, match="at least one edge"):
+            RoadNetwork([[0, 0], [1, 0]], np.empty((0, 2), dtype=int))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(NetworkError, match="positive"):
+            RoadNetwork([[0, 0], [1, 0]], [(0, 1)], lengths=[0.0])
+
+    def test_neighbors_and_degree(self, path_network):
+        nbrs, edges, lengths = path_network.neighbors(1)
+        assert set(nbrs.tolist()) == {0, 2}
+        assert path_network.degree(1) == 2
+        assert path_network.degree(0) == 1
+
+
+class TestNetworkPositions:
+    def test_position_coords_interpolates(self, path_network):
+        pos = NetworkPosition(1, 1.0)  # halfway along edge 1 (length 2)
+        np.testing.assert_allclose(path_network.position_coords(pos), [2.0, 0.0])
+
+    def test_position_validation(self, path_network):
+        with pytest.raises(NetworkError):
+            path_network.check_position(NetworkPosition(9, 0.0))
+        with pytest.raises(NetworkError):
+            path_network.check_position(NetworkPosition(0, 99.0))
+        with pytest.raises(NetworkError):
+            NetworkPosition(0, -1.0)
+
+    def test_sample_positions_on_network(self, path_network, rng):
+        positions = path_network.sample_positions(200, rng)
+        assert len(positions) == 200
+        for pos in positions:
+            path_network.check_position(pos)
+
+    def test_snap_points(self, path_network):
+        snapped = path_network.snap_points([[2.0, 0.5], [-1.0, 0.0]])
+        # (2, 0.5) projects onto edge 1 at offset 1; (-1, 0) clamps to node 0.
+        assert snapped[0].edge == 1
+        assert snapped[0].offset == pytest.approx(1.0)
+        assert snapped[1].edge == 0
+        assert snapped[1].offset == pytest.approx(0.0)
+
+    def test_connected_components(self):
+        net = RoadNetwork(
+            [[0, 0], [1, 0], [5, 5], [6, 5]], [(0, 1), (2, 3)]
+        )
+        labels = net.connected_components()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+
+class TestDijkstra:
+    def test_path_distances(self, path_network):
+        dist = node_distances(path_network, 0)
+        np.testing.assert_allclose(dist, [0.0, 1.0, 3.0, 4.0])
+
+    def test_cutoff_limits_reach(self, path_network):
+        dist = node_distances(path_network, 0, cutoff=2.0)
+        assert dist[0] == 0.0 and dist[1] == 1.0
+        assert np.isinf(dist[2]) and np.isinf(dist[3])
+
+    def test_multi_source(self, path_network):
+        dist = node_distances(path_network, [(0, 0.0), (3, 0.0)])
+        np.testing.assert_allclose(dist, [0.0, 1.0, 1.0, 0.0])
+
+    def test_source_with_initial_distance(self, path_network):
+        dist = node_distances(path_network, [(0, 10.0)])
+        assert dist[3] == pytest.approx(14.0)
+
+    def test_rejects_bad_source(self, path_network):
+        with pytest.raises(NetworkError):
+            node_distances(path_network, 42)
+
+    def test_position_distances(self, path_network):
+        pos = NetworkPosition(1, 0.5)  # 1.5 from node 0
+        dist = position_distances(path_network, pos)
+        np.testing.assert_allclose(dist, [1.5, 0.5, 1.5, 2.5])
+
+    def test_position_to_position_same_edge(self, path_network):
+        a = NetworkPosition(1, 0.2)
+        b = NetworkPosition(1, 1.7)
+        assert position_to_position_distance(path_network, a, b) == pytest.approx(1.5)
+
+    def test_position_to_position_cross_edges(self, path_network):
+        a = NetworkPosition(0, 0.5)
+        b = NetworkPosition(2, 0.5)
+        assert position_to_position_distance(path_network, a, b) == pytest.approx(3.0)
+
+    def test_matches_networkx(self, road_network):
+        nx = pytest.importorskip("networkx")
+        g = nx.Graph()
+        for e, (u, v) in enumerate(road_network.edge_nodes):
+            g.add_edge(int(u), int(v), weight=float(road_network.edge_lengths[e]))
+        ref = nx.single_source_dijkstra_path_length(g, 0)
+        dist = node_distances(road_network, 0)
+        for node, d in ref.items():
+            assert dist[node] == pytest.approx(d)
+
+
+class TestLixels:
+    def test_lixel_count_and_lengths(self, path_network):
+        lix = lixelize(path_network, 0.5)
+        # Edge lengths 1, 2, 1 with target 0.5 -> 2 + 4 + 2 lixels.
+        assert lix.n_lixels == 8
+        np.testing.assert_allclose(lix.lixel_length_actual, 0.5)
+
+    def test_lixels_cover_edges_exactly(self, road_network):
+        lix = lixelize(road_network, 0.3)
+        total = lix.lixel_length_actual.sum()
+        assert total == pytest.approx(road_network.total_length)
+
+    def test_midpoints_are_valid_positions(self, path_network):
+        lix = lixelize(path_network, 0.4)
+        for pos in lix.midpoints():
+            path_network.check_position(pos)
+
+    def test_midpoint_coords_on_segments(self, path_network):
+        lix = lixelize(path_network, 0.5)
+        coords = lix.midpoint_coords()
+        assert coords.shape == (lix.n_lixels, 2)
+        np.testing.assert_allclose(coords[:, 1], 0.0)  # the path lies on y=0
+
+    def test_locate_roundtrip(self, path_network):
+        lix = lixelize(path_network, 0.5)
+        for k, pos in enumerate(lix.midpoints()):
+            assert lix.locate(pos) == k
+
+    def test_irregular_edge_split(self):
+        net = RoadNetwork([[0, 0], [1.3, 0]], [(0, 1)])
+        lix = lixelize(net, 0.5)
+        assert lix.n_lixels == 3  # ceil(1.3 / 0.5)
+        assert lix.lixel_length_actual[0] == pytest.approx(1.3 / 3)
+
+
+class TestGenerators:
+    def test_grid_network_shape(self):
+        net = grid_network(4, 3, spacing=2.0)
+        assert net.n_nodes == 12
+        assert net.n_edges == 4 * 2 + 3 * 3  # vertical + horizontal families
+        assert (net.connected_components() == 0).all()
+
+    def test_radial_network_connected(self):
+        net = radial_network(3, 6)
+        assert net.n_nodes == 1 + 3 * 6
+        assert (net.connected_components() == 0).all()
+
+    def test_random_geometric_connected(self):
+        net = random_geometric_network(60, radius=3.0, bbox_size=10.0, seed=5)
+        assert (net.connected_components() == 0).all()
+
+    def test_random_geometric_too_sparse(self):
+        with pytest.raises(ParameterError, match="no edges"):
+            random_geometric_network(10, radius=1e-6, bbox_size=100.0, seed=1)
+
+    def test_two_corridor_gap_vs_network_distance(self):
+        net = two_corridor_network(length=10.0, gap=0.5, segments=10)
+        lower_start = NetworkPosition(0, 0.0)  # x ~ 0 on the lower corridor
+        # The first upper-corridor edge starts at node segments+1 (x=0, y=gap).
+        upper_start = net.snap_points([[0.0, 0.5]])[0]
+        d_net = position_to_position_distance(net, lower_start, upper_start)
+        # Euclidean gap is 0.5; network route goes out and back: ~ 2 * length.
+        assert d_net > 19.0
+
+    def test_grid_network_rejects_small(self):
+        with pytest.raises(ParameterError):
+            grid_network(1, 5)

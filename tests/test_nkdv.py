@@ -1,0 +1,112 @@
+"""Tests for network KDV."""
+
+import numpy as np
+import pytest
+
+from repro.core.nkdv import nkdv
+from repro.data import network_accidents
+from repro.errors import ParameterError
+from repro.network import (
+    NetworkPosition,
+    grid_network,
+    lixelize,
+    position_to_position_distance,
+    two_corridor_network,
+)
+
+
+def brute_nkdv(network, events, lixels, bandwidth, kernel):
+    """Reference: exact pairwise network distances, no sharing."""
+    from repro.core.kernels import get_kernel
+
+    kern = get_kernel(kernel)
+    densities = np.zeros(lixels.n_lixels)
+    mids = lixels.midpoints()
+    for ev in events:
+        for j, mid in enumerate(mids):
+            d = position_to_position_distance(network, ev, mid)
+            if d <= bandwidth:
+                densities[j] += float(kern.evaluate(d, bandwidth))
+    return densities
+
+
+class TestNKDVCorrectness:
+    def test_matches_brute_force(self, road_network):
+        events = network_accidents(road_network, 15, seed=51)
+        lix = lixelize(road_network, 0.5)
+        ref = brute_nkdv(road_network, events, lix, 1.2, "quartic")
+        for method in ("naive", "shared"):
+            got = nkdv(road_network, events, 0.5, 1.2, method=method, lixels=lix)
+            np.testing.assert_allclose(got.densities, ref, atol=1e-10)
+
+    def test_methods_agree_many_events(self, road_network, road_events):
+        a = nkdv(road_network, road_events, 0.3, 1.5, method="naive")
+        b = nkdv(road_network, road_events, 0.3, 1.5, method="shared")
+        np.testing.assert_allclose(a.densities, b.densities, atol=1e-10)
+
+    @pytest.mark.parametrize("kernel", ["uniform", "epanechnikov", "gaussian"])
+    def test_kernels_supported(self, kernel, road_network, road_events):
+        result = nkdv(road_network, road_events, 0.5, 1.0, kernel=kernel)
+        assert result.densities.shape == (result.n_lixels,)
+        assert (result.densities >= 0).all()
+
+    def test_density_peaks_on_hotspot_edge(self, road_network):
+        events = network_accidents(
+            road_network, 100, hotspot_edges=[7], hotspot_fraction=1.0, seed=52
+        )
+        result = nkdv(road_network, events, 0.25, 0.8)
+        hot_span = result.lixels.lixels_of_edge(7)
+        hot_mean = result.densities[hot_span].mean()
+        assert hot_mean > 2.0 * result.densities.mean()
+
+    def test_mass_bounded_by_events(self, road_network, road_events):
+        """Uniform kernel: each lixel's density <= n_events / bandwidth."""
+        result = nkdv(road_network, road_events, 0.5, 1.0, kernel="uniform")
+        assert result.densities.max() <= len(road_events) / 1.0 + 1e-9
+
+
+class TestFigure3:
+    def test_network_density_respects_corridor_gap(self):
+        """The paper's Figure 3: q2 must get far less density than q1."""
+        net = two_corridor_network(length=10.0, gap=0.5, segments=20)
+        # All events on the lower corridor near x = 0.
+        events = [NetworkPosition(0, 0.1 * i) for i in range(5)]
+        result = nkdv(net, events, 0.25, 2.0, kernel="quartic")
+        q1 = result.density_at(net.snap_points([[0.3, 0.0]])[0])  # lower corridor
+        q2 = result.density_at(net.snap_points([[0.3, 0.5]])[0])  # upper corridor
+        assert q1 > 0.0
+        assert q2 == 0.0  # network-unreachable within the bandwidth
+
+
+class TestNKDVResultAPI:
+    def test_midpoint_coords_shape(self, road_network, road_events):
+        result = nkdv(road_network, road_events, 0.5, 1.0)
+        assert result.midpoint_coords().shape == (result.n_lixels, 2)
+
+    def test_normalized_range(self, road_network, road_events):
+        result = nkdv(road_network, road_events, 0.5, 1.0)
+        norm = result.normalized()
+        assert norm.min() == 0.0 and norm.max() == 1.0
+
+    def test_hottest_lixel_consistent(self, road_network, road_events):
+        result = nkdv(road_network, road_events, 0.5, 1.0)
+        assert result.densities[result.hottest_lixel()] == result.densities.max()
+
+    def test_lixels_reuse(self, road_network, road_events):
+        lix = lixelize(road_network, 0.5)
+        a = nkdv(road_network, road_events, 0.5, 1.0, lixels=lix)
+        assert a.lixels is lix
+
+    def test_foreign_lixels_rejected(self, road_network, road_events):
+        other = grid_network(3, 3)
+        lix = lixelize(other, 0.5)
+        with pytest.raises(ParameterError, match="different network"):
+            nkdv(road_network, road_events, 0.5, 1.0, lixels=lix)
+
+    def test_empty_events_rejected(self, road_network):
+        with pytest.raises(ParameterError, match="empty"):
+            nkdv(road_network, [], 0.5, 1.0)
+
+    def test_unknown_method(self, road_network, road_events):
+        with pytest.raises(ParameterError, match="unknown NKDV"):
+            nkdv(road_network, road_events, 0.5, 1.0, method="teleport")

@@ -1,0 +1,93 @@
+"""Tests for the pair-correlation function and NKDV rasterisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import pair_correlation
+from repro.core.nkdv import nkdv
+from repro.data import csr, network_accidents, thomas
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox
+from repro.network import grid_network
+
+
+class TestPairCorrelation:
+    BBOX = BoundingBox(0.0, 0.0, 20.0, 20.0)
+
+    def test_csr_near_one_at_small_r(self):
+        pts = csr(900, self.BBOX, seed=71)
+        g = pair_correlation(pts, [0.3, 0.6, 1.0], self.BBOX)
+        np.testing.assert_allclose(g, 1.0, atol=0.25)
+
+    def test_clustered_peaks_then_dips(self):
+        pts = thomas(800, 5, 0.4, self.BBOX, seed=72)
+        rs = np.array([0.3, 4.0])
+        g = pair_correlation(pts, rs, self.BBOX)
+        assert g[0] > 3.0       # strong attraction inside the cluster radius
+        assert g[1] < 0.8       # depletion between clusters
+
+    def test_interaction_decays_at_cluster_scale(self):
+        """g decays by an order of magnitude past the cluster diameter."""
+        sigma = 0.5
+        pts = thomas(900, 6, sigma, self.BBOX, seed=73)
+        rs = np.linspace(0.2, 4.0, 24)
+        g = pair_correlation(pts, rs, self.BBOX)
+        assert g[0] > 10.0 * g[-1]  # strong within-cluster attraction decays
+        # Past ~4 sigma the curve is near the background level.
+        tail = g[rs > 4.0 * sigma]
+        assert tail.max() < 0.25 * g[0]
+
+    def test_non_negative(self):
+        pts = csr(300, self.BBOX, seed=74)
+        g = pair_correlation(pts, np.linspace(0.2, 5.0, 12), self.BBOX)
+        assert (g >= 0).all()
+
+    def test_smoothing_parameter(self):
+        pts = thomas(400, 4, 0.4, self.BBOX, seed=75)
+        rough = pair_correlation(pts, [0.5], self.BBOX, smoothing=0.05)
+        smooth = pair_correlation(pts, [0.5], self.BBOX, smoothing=1.0)
+        assert np.isfinite(rough).all() and np.isfinite(smooth).all()
+
+    def test_zero_radius_rejected(self):
+        pts = csr(50, self.BBOX, seed=76)
+        with pytest.raises(ParameterError, match="strictly positive"):
+            pair_correlation(pts, [0.0, 1.0], self.BBOX)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ParameterError):
+            pair_correlation([[1.0, 1.0]], [1.0], self.BBOX)
+
+
+class TestNKDVToDensityGrid:
+    def test_raster_shape_and_peak(self, road_network, road_events):
+        result = nkdv(road_network, road_events, 0.25, 1.0)
+        grid = result.to_density_grid((48, 48))
+        assert grid.shape == (48, 48)
+        # The raster peak equals the hottest lixel's density.
+        assert grid.max == pytest.approx(result.densities.max())
+
+    def test_off_network_pixels_zero(self, road_network, road_events):
+        result = nkdv(road_network, road_events, 0.25, 1.0)
+        grid = result.to_density_grid((60, 60))
+        # A grid-network raster is mostly empty space between streets.
+        assert (grid.values == 0).mean() > 0.5
+
+    def test_hotspot_edge_visible_in_raster(self):
+        net = grid_network(6, 6, spacing=1.0)
+        events = network_accidents(
+            net, 120, hotspot_edges=[0], hotspot_fraction=1.0, seed=77
+        )
+        result = nkdv(net, events, 0.2, 0.8)
+        grid = result.to_density_grid((50, 50))
+        # The raster argmax must sit on edge 0's segment (nodes 0 and 1).
+        x, y = grid.argmax_coords()
+        a = net.node_coords[net.edge_nodes[0, 0]]
+        b = net.node_coords[net.edge_nodes[0, 1]]
+        seg_mid = 0.5 * (a + b)
+        assert np.hypot(x - seg_mid[0], y - seg_mid[1]) < 1.0
+
+    def test_custom_bbox(self, road_network, road_events):
+        big = BoundingBox(-5.0, -5.0, 10.0, 10.0)
+        result = nkdv(road_network, road_events, 0.25, 1.0)
+        grid = result.to_density_grid((30, 30), bbox=big)
+        assert grid.bbox is big

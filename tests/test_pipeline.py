@@ -1,0 +1,81 @@
+"""Tests for the end-to-end hotspot workflow (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import HotspotAnalysis
+from repro.data import csr, hk_covid, thomas
+from repro.errors import ParameterError
+
+
+class TestHotspotAnalysis:
+    def test_clustered_data_significant(self, bbox):
+        pts = thomas(300, 2, 0.5, bbox, seed=201)
+        report = HotspotAnalysis(pts, bbox).run(
+            size=(48, 32), n_simulations=19, seed=202
+        )
+        assert report.significant
+        assert report.bandwidth_source == "k-function"
+        assert len(report.hotspots) >= 1
+
+    def test_csr_data_not_significant(self, bbox):
+        pts = csr(300, bbox, seed=203)
+        report = HotspotAnalysis(pts, bbox).run(
+            size=(48, 32), n_simulations=39, seed=204
+        )
+        # CSR can graze the envelope; the bandwidth source is the robust
+        # signal: with no clustered thresholds it falls back to Scott.
+        if not report.significant:
+            assert report.bandwidth_source == "scott"
+
+    def test_hotspot_near_true_center(self, bbox):
+        center = np.array([[15.0, 8.0]])
+        pts = thomas(400, 1, 0.5, bbox, seed=205, centers=center)
+        report = HotspotAnalysis(pts, bbox).run(
+            size=(64, 40), n_simulations=19, seed=206
+        )
+        top = report.hotspots[0]
+        assert np.hypot(top.peak[0] - 15.0, top.peak[1] - 8.0) < 2.0
+
+    def test_covid_workflow_end_to_end(self):
+        data = hk_covid(300, 400, seed=207)
+        report = HotspotAnalysis(data.points, data.bbox).run(
+            size=(64, 40), n_simulations=19, seed=208
+        )
+        assert report.significant
+        summary = report.summary()
+        assert "significant clustering: yes" in summary
+        assert "hotspots found" in summary
+
+    def test_custom_thresholds_respected(self, bbox, clustered_points):
+        ts = np.array([0.5, 1.0, 1.5])
+        report = HotspotAnalysis(clustered_points, bbox).run(
+            thresholds=ts, size=(32, 24), n_simulations=9, seed=209
+        )
+        np.testing.assert_array_equal(report.k_plot.thresholds, ts)
+
+    def test_default_thresholds_ladder(self, bbox, small_points):
+        analysis = HotspotAnalysis(small_points, bbox)
+        ts = analysis.default_thresholds(8)
+        assert ts.shape == (8,)
+        assert ts[-1] == pytest.approx(0.25 * bbox.diagonal)
+        assert (np.diff(ts) > 0).all()
+
+    def test_reproducible(self, bbox, clustered_points):
+        a = HotspotAnalysis(clustered_points, bbox).run(
+            size=(32, 24), n_simulations=9, seed=210
+        )
+        b = HotspotAnalysis(clustered_points, bbox).run(
+            size=(32, 24), n_simulations=9, seed=210
+        )
+        assert a.bandwidth == b.bandwidth
+        assert a.density.max_abs_difference(b.density) == 0.0
+
+    def test_validation(self, bbox, small_points):
+        with pytest.raises(ParameterError):
+            HotspotAnalysis(small_points, (0, 0, 1, 1))
+        analysis = HotspotAnalysis(small_points, bbox)
+        with pytest.raises(ParameterError):
+            analysis.run(quantile=1.2)
+        with pytest.raises(ParameterError):
+            analysis.default_thresholds(1)

@@ -1,0 +1,154 @@
+"""Unit tests for the raster substrate (grids, colormaps, image export)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, ParameterError
+from repro.geometry import BoundingBox
+from repro.raster import (
+    COLORMAPS,
+    DensityGrid,
+    ascii_render,
+    get_colormap,
+    read_ppm,
+    render_rgb,
+    write_pgm,
+    write_ppm,
+)
+
+
+@pytest.fixture()
+def grid(bbox):
+    values = np.zeros((20, 12))
+    values[5, 6] = 10.0
+    values[15, 3] = 4.0
+    return DensityGrid(bbox, values)
+
+
+class TestDensityGrid:
+    def test_shape_properties(self, grid):
+        assert grid.shape == (20, 12)
+        assert grid.nx == 20 and grid.ny == 12
+
+    def test_rejects_non_2d(self, bbox):
+        with pytest.raises(DataError):
+            DensityGrid(bbox, np.zeros(5))
+
+    def test_rejects_nan(self, bbox):
+        vals = np.zeros((4, 4))
+        vals[0, 0] = np.nan
+        with pytest.raises(DataError):
+            DensityGrid(bbox, vals)
+
+    def test_normalized_range(self, grid):
+        norm = grid.normalized()
+        assert norm.min() == 0.0 and norm.max() == 1.0
+
+    def test_normalized_constant_grid(self, bbox):
+        g = DensityGrid(bbox, np.full((3, 3), 7.0))
+        assert (g.normalized() == 0.0).all()
+
+    def test_argmax_coords(self, grid):
+        x, y = grid.argmax_coords()
+        xs, ys = grid.pixel_centers()
+        assert x == xs[5] and y == ys[6]
+
+    def test_value_at(self, grid):
+        x, y = grid.argmax_coords()
+        assert grid.value_at(x, y) == 10.0
+
+    def test_value_at_outside(self, grid):
+        with pytest.raises(ParameterError):
+            grid.value_at(-100.0, 0.0)
+
+    def test_threshold_mask(self, grid):
+        mask = grid.threshold_mask(0.99)
+        assert mask.sum() >= 1
+        assert mask[5, 6]
+
+    def test_difference_requires_alignment(self, grid, bbox):
+        other = DensityGrid(bbox, np.zeros((4, 4)))
+        with pytest.raises(ParameterError):
+            grid.max_abs_difference(other)
+
+    def test_difference_values(self, grid, bbox):
+        other = DensityGrid(bbox, grid.values + 0.5)
+        assert grid.max_abs_difference(other) == pytest.approx(0.5)
+
+
+class TestColormaps:
+    def test_known_maps_exist(self):
+        for name in ("heat", "viridis", "gray"):
+            assert name in COLORMAPS
+
+    def test_unknown_map(self):
+        with pytest.raises(ParameterError, match="unknown colormap"):
+            get_colormap("nope")
+
+    def test_endpoints(self):
+        cmap = get_colormap("gray")
+        np.testing.assert_array_equal(cmap(0.0), [0, 0, 0])
+        np.testing.assert_array_equal(cmap(1.0), [255, 255, 255])
+
+    def test_clipping(self):
+        cmap = get_colormap("heat")
+        np.testing.assert_array_equal(cmap(-5.0), cmap(0.0))
+        np.testing.assert_array_equal(cmap(7.0), cmap(1.0))
+
+    def test_shape_preserved(self):
+        cmap = get_colormap("viridis")
+        out = cmap(np.zeros((3, 4)))
+        assert out.shape == (3, 4, 3)
+        assert out.dtype == np.uint8
+
+    def test_monotone_gray(self):
+        cmap = get_colormap("gray")
+        ramp = cmap(np.linspace(0, 1, 11))
+        assert (np.diff(ramp[:, 0].astype(int)) >= 0).all()
+
+
+class TestImages:
+    def test_render_orientation(self, grid):
+        image = render_rgb(grid, "gray")
+        # Image is (height, width, 3) with row 0 = top (max y).
+        assert image.shape == (grid.ny, grid.nx, 3)
+        # The peak at pixel (5, 6) should be the brightest pixel.
+        row = grid.ny - 1 - 6
+        assert image[row, 5, 0] == 255
+
+    def test_ppm_roundtrip(self, tmp_path, grid):
+        path = write_ppm(tmp_path / "map.ppm", grid, "heat")
+        back = read_ppm(path)
+        np.testing.assert_array_equal(back, render_rgb(grid, "heat"))
+
+    def test_pgm_written(self, tmp_path, grid):
+        path = write_pgm(tmp_path / "map.pgm", grid)
+        data = path.read_bytes()
+        assert data.startswith(b"P5")
+        assert len(data) > grid.nx * grid.ny
+
+    def test_read_ppm_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"NOTPPM")
+        with pytest.raises(DataError):
+            read_ppm(path)
+
+    def test_read_ppm_truncated(self, tmp_path):
+        path = tmp_path / "trunc.ppm"
+        path.write_bytes(b"P6\n4 4\n255\nxx")
+        with pytest.raises(DataError, match="truncated"):
+            read_ppm(path)
+
+    def test_ascii_render_dimensions(self, grid):
+        art = ascii_render(grid, width=24)
+        lines = art.splitlines()
+        assert all(len(line) == 24 for line in lines)
+        assert len(lines) >= 2
+
+    def test_ascii_peak_marked(self, grid):
+        art = ascii_render(grid, width=grid.nx)
+        assert "@" in art
+
+    def test_ascii_bad_width(self, grid):
+        with pytest.raises(DataError):
+            ascii_render(grid, width=1)

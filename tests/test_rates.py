@@ -1,0 +1,86 @@
+"""Tests for empirical Bayes rate smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocorrelation import lattice_weights
+from repro.core.rates import empirical_bayes, spatial_empirical_bayes
+from repro.errors import DataError
+
+
+class TestEmpiricalBayes:
+    def test_shrinks_small_population_units_more(self):
+        # Two units with the same raw rate; the small one shrinks more.
+        counts = np.array([2.0, 200.0, 10.0, 10.0])
+        pops = np.array([20.0, 2000.0, 500.0, 500.0])
+        smoothed = empirical_bayes(counts, pops)
+        raw = counts / pops
+        prior = counts.sum() / pops.sum()
+        shrink_small = abs(smoothed[0] - raw[0])
+        shrink_big = abs(smoothed[1] - raw[1])
+        assert shrink_small > shrink_big
+        # Everything moves toward the prior, never past it.
+        for s, r in zip(smoothed, raw):
+            lo, hi = min(r, prior), max(r, prior)
+            assert lo - 1e-12 <= s <= hi + 1e-12
+
+    def test_constant_rates_unchanged(self):
+        pops = np.array([10.0, 100.0, 1000.0])
+        counts = 0.05 * pops
+        smoothed = empirical_bayes(counts, pops)
+        np.testing.assert_allclose(smoothed, 0.05, atol=1e-12)
+
+    def test_preserves_ordering_of_stable_units(self):
+        """Well-populated units keep their rate ordering."""
+        rng = np.random.default_rng(1)
+        pops = rng.uniform(5000, 10000, size=20)
+        rates = np.linspace(0.01, 0.2, 20)
+        counts = rates * pops
+        smoothed = empirical_bayes(counts, pops)
+        assert (np.diff(smoothed) > 0).all()
+
+    def test_zero_counts_positive_prior(self):
+        counts = np.array([0.0, 0.0, 30.0])
+        pops = np.array([10.0, 10.0, 300.0])
+        smoothed = empirical_bayes(counts, pops)
+        assert (smoothed > 0).all()  # shrinkage rescues the empty cells
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            empirical_bayes([1.0], [1.0, 2.0])
+        with pytest.raises(DataError):
+            empirical_bayes([-1.0], [1.0])
+        with pytest.raises(DataError):
+            empirical_bayes([1.0], [0.0])
+        with pytest.raises(DataError):
+            empirical_bayes([], [])
+
+
+class TestSpatialEmpiricalBayes:
+    def test_respects_regional_gradient(self):
+        """A west-east rate gradient must survive spatial smoothing."""
+        nx = ny = 6
+        w = lattice_weights(nx, ny, "queen")
+        rng = np.random.default_rng(2)
+        pops = rng.uniform(50, 150, size=nx * ny)
+        base = np.repeat(np.linspace(0.02, 0.2, nx), ny)  # grows with x
+        counts = rng.poisson(base * pops).astype(float)
+        smoothed = spatial_empirical_bayes(counts, pops, w)
+        west = smoothed[: 2 * ny].mean()
+        east = smoothed[-2 * ny:].mean()
+        assert east > 2.0 * west
+
+    def test_smoother_than_raw(self):
+        nx = ny = 6
+        w = lattice_weights(nx, ny, "queen")
+        rng = np.random.default_rng(3)
+        pops = rng.uniform(5, 30, size=nx * ny)  # tiny populations: noisy raw
+        counts = rng.poisson(0.1 * pops).astype(float)
+        raw = counts / pops
+        smoothed = spatial_empirical_bayes(counts, pops, w)
+        assert smoothed.std() < raw.std()
+
+    def test_weights_size_checked(self):
+        w = lattice_weights(3, 3)
+        with pytest.raises(DataError, match="units"):
+            spatial_empirical_bayes([1.0, 2.0], [10.0, 10.0], w)

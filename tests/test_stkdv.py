@@ -1,0 +1,126 @@
+"""Tests for spatiotemporal KDV (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stkdv import stkdv
+from repro.data import hk_covid
+from repro.errors import ParameterError
+
+SIZE = (20, 14)
+
+
+@pytest.fixture(scope="module")
+def covid():
+    return hk_covid(250, 350, seed=61)
+
+
+class TestMethodAgreement:
+    def test_window_matches_naive(self, covid):
+        frames = [40.0, 150.0]
+        a = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            method="naive",
+        )
+        b = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            method="window",
+        )
+        assert np.abs(a.values - b.values).max() < 1e-9 * max(a.values.max(), 1.0)
+
+    @pytest.mark.parametrize("kt", ["uniform", "epanechnikov", "quartic"])
+    def test_temporal_kernels(self, kt, covid):
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [100.0], 2.5, 30.0,
+            kernel_time=kt,
+        )
+        assert res.values.shape == (SIZE[0], SIZE[1], 1)
+        assert (res.values >= 0).all()
+
+    def test_sweep_spatial_pass_matches_grid(self, covid):
+        frames = [60.0, 140.0]
+        a = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            spatial_method="grid",
+        )
+        b = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            spatial_method="sweep",
+        )
+        assert np.abs(a.values - b.values).max() < 1e-6 * max(a.values.max(), 1.0)
+
+    def test_sweep_spatial_rejects_bad_name(self, covid):
+        with pytest.raises(ParameterError, match="spatial_method"):
+            stkdv(
+                covid.points, covid.times, covid.bbox, SIZE, [1.0], 2.0, 25.0,
+                spatial_method="warp",
+            )
+
+    def test_gaussian_time_kernel_truncation_negligible(self, covid):
+        a = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [100.0], 2.5, 30.0,
+            kernel_time="gaussian", method="naive",
+        )
+        b = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [100.0], 2.5, 30.0,
+            kernel_time="gaussian", method="window",
+        )
+        assert np.abs(a.values - b.values).max() < 1e-6 * max(a.values.max(), 1.0)
+
+
+class TestFigure4Semantics:
+    def test_hotspot_moves_between_waves(self, covid):
+        """Wave 1 peak sits near (18, 16); wave 2 adds a region near (34, 11)."""
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, (40, 24), [50.0, 150.0],
+            2.0, 25.0,
+        )
+        track = res.hotspot_track()
+        assert track.shape == (2, 2)
+        moved = np.sqrt(((track[1] - track[0]) ** 2).sum())
+        assert moved > 3.0  # the dominant hotspot is not static
+
+    def test_frame_outside_data_time_is_empty(self, covid):
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [5000.0], 2.0, 10.0,
+            kernel_time="epanechnikov",
+        )
+        assert res.values.max() == 0.0
+
+    def test_mass_follows_case_load(self, covid):
+        """More wave-2 cases -> more kernel mass in wave-2 frames."""
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [50.0, 150.0], 2.0, 25.0
+        )
+        mass = res.total_mass()
+        assert mass[1] > mass[0]
+
+
+class TestResultAPI:
+    def test_frame_and_frame_at(self, covid):
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [50.0, 150.0], 2.0, 25.0
+        )
+        assert res.n_frames == 2
+        f0 = res.frame(0)
+        assert f0.shape == SIZE
+        assert res.frame_at(49.0).values is res.values[:, :, 0] or np.array_equal(
+            res.frame_at(49.0).values, res.values[:, :, 0]
+        )
+
+    def test_empty_frames_rejected(self, covid):
+        with pytest.raises(ParameterError, match="at least one"):
+            stkdv(covid.points, covid.times, covid.bbox, SIZE, [], 2.0, 25.0)
+
+    def test_bad_bandwidths(self, covid):
+        with pytest.raises(ParameterError):
+            stkdv(covid.points, covid.times, covid.bbox, SIZE, [1.0], 0.0, 25.0)
+        with pytest.raises(ParameterError):
+            stkdv(covid.points, covid.times, covid.bbox, SIZE, [1.0], 2.0, -5.0)
+
+    def test_unknown_method(self, covid):
+        with pytest.raises(ParameterError, match="unknown STKDV"):
+            stkdv(
+                covid.points, covid.times, covid.bbox, SIZE, [1.0], 2.0, 25.0,
+                method="tardis",
+            )

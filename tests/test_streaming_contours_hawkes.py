@@ -1,0 +1,176 @@
+"""Tests for the streaming accumulator, contour extraction, and Hawkes data."""
+
+import numpy as np
+import pytest
+
+from repro.core.kdv import KDVAccumulator, KDVProblem, kde_gridcut
+from repro.data import hawkes_st
+from repro.errors import ParameterError
+from repro.geometry import BoundingBox
+from repro.raster import DensityGrid, contour_polylines, contour_segments
+
+
+class TestKDVAccumulator:
+    SIZE = (24, 16)
+
+    def test_add_matches_batch(self, clustered_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5)
+        acc.add(clustered_points)
+        batch = kde_gridcut(KDVProblem(clustered_points, bbox, self.SIZE, 1.5, "quartic"))
+        assert acc.grid().max_abs_difference(batch) < 1e-10 * max(batch.max, 1.0)
+
+    def test_incremental_adds_match(self, clustered_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5)
+        half = clustered_points.shape[0] // 2
+        acc.add(clustered_points[:half]).add(clustered_points[half:])
+        batch = kde_gridcut(KDVProblem(clustered_points, bbox, self.SIZE, 1.5, "quartic"))
+        assert acc.grid().max_abs_difference(batch) < 1e-9 * max(batch.max, 1.0)
+
+    def test_remove_undoes_add(self, clustered_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5)
+        keep = clustered_points[:300]
+        extra = clustered_points[300:]
+        acc.add(clustered_points)
+        acc.remove(extra)
+        batch = kde_gridcut(KDVProblem(keep, bbox, self.SIZE, 1.5, "quartic"))
+        assert acc.grid().max_abs_difference(batch) < 1e-8 * max(batch.max, 1.0)
+        assert acc.n_points == 300
+
+    def test_sliding_window_equivalence(self, bbox, rng):
+        """Window [t-w, t] maintained by add/remove equals the batch KDV."""
+        pts = bbox.sample_uniform(200, rng)
+        acc = KDVAccumulator(bbox, self.SIZE, 2.0, kernel="epanechnikov")
+        acc.add(pts[:120])
+        acc.remove(pts[:40])
+        acc.add(pts[120:])
+        window = pts[40:]
+        batch = kde_gridcut(
+            KDVProblem(window, bbox, self.SIZE, 2.0, "epanechnikov")
+        )
+        assert acc.grid().max_abs_difference(batch) < 1e-9 * max(batch.max, 1.0)
+
+    def test_remove_to_empty_is_clean(self, small_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.0)
+        acc.add(small_points).remove(small_points)
+        assert acc.n_points == 0
+        assert acc.grid().max == 0.0
+
+    def test_cannot_remove_more_than_present(self, small_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.0)
+        acc.add(small_points[:5])
+        with pytest.raises(ParameterError, match="remove"):
+            acc.remove(small_points)
+
+    def test_grid_is_copy(self, small_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.0)
+        acc.add(small_points)
+        grid = acc.grid()
+        acc.add(small_points)
+        assert acc.grid().values.sum() > grid.values.sum()
+
+    def test_gaussian_kernel_supported(self, small_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.0, kernel="gaussian")
+        acc.add(small_points)
+        assert acc.grid().max > 0
+
+    def test_reset(self, small_points, bbox):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.0)
+        acc.add(small_points).reset()
+        assert acc.n_points == 0
+        assert acc.grid().max == 0.0
+
+
+class TestContours:
+    @pytest.fixture()
+    def cone_grid(self):
+        """A radial cone: iso-contours are circles of known radius."""
+        bbox = BoundingBox(-5.0, -5.0, 5.0, 5.0)
+        xs, ys = bbox.pixel_centers(80, 80)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        values = np.maximum(5.0 - np.sqrt(gx ** 2 + gy ** 2), 0.0)
+        return DensityGrid(bbox, values)
+
+    def test_circle_contour_radius(self, cone_grid):
+        # Level 3 -> circle of radius 2 centred at the origin.
+        segs = contour_segments(cone_grid, 3.0)
+        assert segs.shape[0] > 0
+        radii = np.sqrt((segs.reshape(-1, 2) ** 2).sum(axis=1))
+        np.testing.assert_allclose(radii, 2.0, atol=0.15)
+
+    def test_polylines_close_the_circle(self, cone_grid):
+        polylines = contour_polylines(cone_grid, 3.0)
+        assert len(polylines) == 1
+        line = polylines[0]
+        # Closed: endpoints coincide (within the chaining tolerance).
+        assert np.allclose(line[0], line[-1], atol=1e-6)
+        # The polyline visits all quadrants.
+        assert (line[:, 0] > 0).any() and (line[:, 0] < 0).any()
+        assert (line[:, 1] > 0).any() and (line[:, 1] < 0).any()
+
+    def test_level_above_max_empty(self, cone_grid):
+        assert contour_segments(cone_grid, 99.0).shape[0] == 0
+        assert contour_polylines(cone_grid, 99.0) == []
+
+    def test_two_peaks_two_contours(self):
+        bbox = BoundingBox(0.0, 0.0, 20.0, 10.0)
+        xs, ys = bbox.pixel_centers(80, 40)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        values = np.exp(-((gx - 5) ** 2 + (gy - 5) ** 2)) + np.exp(
+            -((gx - 15) ** 2 + (gy - 5) ** 2)
+        )
+        grid = DensityGrid(bbox, values)
+        polylines = contour_polylines(grid, 0.5)
+        assert len(polylines) == 2
+
+    def test_tiny_grid_rejected(self, bbox):
+        grid = DensityGrid(bbox, np.zeros((1, 5)))
+        with pytest.raises(ParameterError):
+            contour_segments(grid, 0.5)
+
+
+class TestHawkes:
+    BBOX = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+    def test_basic_output(self):
+        pts, times = hawkes_st(self.BBOX, horizon=50.0, mu=0.05, seed=1)
+        assert pts.shape[0] == times.shape[0]
+        assert pts.shape[0] > 0
+        assert (np.diff(times) >= 0).all()
+        assert self.BBOX.contains(pts).all()
+        assert times.max() < 50.0
+
+    def test_branching_increases_count(self):
+        quiet = hawkes_st(self.BBOX, 50.0, mu=0.05, alpha=0.0, seed=2)[0].shape[0]
+        counts = [
+            hawkes_st(self.BBOX, 50.0, mu=0.05, alpha=0.7, seed=s)[0].shape[0]
+            for s in range(3, 9)
+        ]
+        # Branching ratio 0.7 multiplies the count by ~1/(1-0.7) ~ 3.3.
+        assert np.mean(counts) > 1.8 * quiet
+
+    def test_space_time_interaction(self):
+        """Permuting times must destroy the clustering Hawkes creates."""
+        from repro.core.kfunction import st_k_function_plot
+
+        pts, times = hawkes_st(
+            self.BBOX, 100.0, mu=0.03, alpha=0.7, beta=0.5, sigma=0.3, seed=10
+        )
+        plot = st_k_function_plot(
+            pts, times, self.BBOX,
+            s_thresholds=[0.5, 1.0], t_thresholds=[2.0, 5.0],
+            n_simulations=19, null="permute", seed=11,
+        )
+        assert plot.clustered_mask().any()
+
+    def test_supercritical_rejected(self):
+        with pytest.raises(ParameterError, match="subcritical"):
+            hawkes_st(self.BBOX, 10.0, mu=0.1, alpha=1.2)
+
+    def test_event_cap(self):
+        with pytest.raises(ParameterError, match="max_events"):
+            hawkes_st(self.BBOX, 100.0, mu=5.0, alpha=0.9, seed=1, max_events=100)
+
+    def test_reproducible(self):
+        a = hawkes_st(self.BBOX, 30.0, mu=0.05, seed=42)
+        b = hawkes_st(self.BBOX, 30.0, mu=0.05, seed=42)
+        np.testing.assert_array_equal(a[0], b[0])

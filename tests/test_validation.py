@@ -1,0 +1,140 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_points,
+    as_timestamps,
+    as_values,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_thresholds,
+    chunk_ranges,
+    resolve_rng,
+)
+from repro.errors import DataError, ParameterError
+
+
+class TestAsPoints:
+    def test_list_of_pairs(self):
+        arr = as_points([[0, 1], [2, 3]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_single_pair_promoted(self):
+        arr = as_points([1.0, 2.0])
+        assert arr.shape == (1, 2)
+
+    def test_contiguous_output(self):
+        base = np.arange(20, dtype=np.float64).reshape(10, 2)[::2]
+        arr = as_points(base)
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(DataError, match="\\(n, 2\\)"):
+            as_points([[1, 2, 3]])
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(DataError, match="at least one"):
+            as_points(np.empty((0, 2)))
+
+    def test_allows_empty_when_asked(self):
+        arr = as_points(np.empty((0, 2)), allow_empty=True)
+        assert arr.shape == (0, 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="non-finite"):
+            as_points([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError, match="non-finite"):
+            as_points([[np.inf, 0.0]])
+
+
+class TestAsValues:
+    def test_length_checked(self):
+        with pytest.raises(DataError, match="length 3"):
+            as_values([1.0, 2.0], 3)
+
+    def test_flattens(self):
+        arr = as_values(np.array([[1.0], [2.0]]), 2)
+        assert arr.shape == (2,)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="non-finite"):
+            as_values([1.0, np.nan], 2)
+
+    def test_timestamps_same_contract(self):
+        arr = as_timestamps([1, 2, 3], 3)
+        assert arr.dtype == np.float64
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(2, "x") == 2.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_positive(bad, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ParameterError):
+            check_non_negative(-0.1, "x")
+
+    def test_in_range(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        with pytest.raises(ParameterError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_probability_rejects_boundaries(self, bad):
+        with pytest.raises(ParameterError):
+            check_probability(bad, "p")
+
+
+class TestThresholds:
+    def test_sorted_accepted(self):
+        ts = check_thresholds([1.0, 2.0, 2.0, 3.0])
+        assert ts.shape == (4,)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ParameterError, match="sorted"):
+            check_thresholds([2.0, 1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError, match="non-negative"):
+            check_thresholds([-1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            check_thresholds([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ParameterError, match="non-finite"):
+            check_thresholds([np.nan])
+
+
+class TestRngAndChunks:
+    def test_resolve_rng_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert resolve_rng(gen) is gen
+
+    def test_resolve_rng_seed_reproducible(self):
+        a = resolve_rng(7).uniform()
+        b = resolve_rng(7).uniform()
+        assert a == b
+
+    def test_chunk_ranges_cover(self):
+        spans = chunk_ranges(10, 3)
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_chunk_ranges_bad_chunk(self):
+        with pytest.raises(ParameterError):
+            chunk_ranges(10, 0)

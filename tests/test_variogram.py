@@ -1,0 +1,129 @@
+"""Tests for empirical variograms and model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import (
+    VARIOGRAM_MODELS,
+    VariogramModel,
+    empirical_variogram,
+    fit_variogram,
+)
+from repro.errors import ConvergenceError, DataError, ParameterError
+
+
+def gaussian_field(n, length_scale, seed):
+    """Samples of a smooth random field with known correlation length."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 10, size=(n, 2))
+    # Superpose random cosine waves: an isotropic smooth field.
+    vals = np.zeros(n)
+    for _ in range(40):
+        k = rng.normal(scale=1.0 / length_scale, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        vals += np.cos(pts @ k + phase)
+    return pts, vals / np.sqrt(40.0)
+
+
+class TestEmpiricalVariogram:
+    def test_shapes_and_positivity(self):
+        pts, vals = gaussian_field(150, 2.0, 81)
+        lags, gamma, counts = empirical_variogram(pts, vals, n_bins=10)
+        assert lags.shape == gamma.shape == counts.shape
+        assert (gamma >= 0).all()
+        assert (counts > 0).all()
+
+    def test_gamma_grows_with_distance_for_smooth_field(self):
+        pts, vals = gaussian_field(300, 3.0, 82)
+        lags, gamma, _ = empirical_variogram(pts, vals, n_bins=8, max_dist=3.0)
+        # Short-lag semivariance must be well below long-lag semivariance.
+        assert gamma[0] < 0.5 * gamma[-1]
+
+    def test_white_noise_flat(self):
+        rng = np.random.default_rng(83)
+        pts = rng.uniform(0, 10, size=(400, 2))
+        vals = rng.normal(size=400)
+        lags, gamma, _ = empirical_variogram(pts, vals, n_bins=6)
+        # All bins near the noise variance (1.0): ratio bounded.
+        assert gamma.max() / gamma.min() < 2.0
+
+    def test_pair_subsampling_consistent(self):
+        pts, vals = gaussian_field(200, 2.0, 84)
+        full = empirical_variogram(pts, vals, n_bins=6)[1]
+        sub = empirical_variogram(pts, vals, n_bins=6, max_pairs=5000, seed=1)[1]
+        np.testing.assert_allclose(sub, full, rtol=0.5)
+
+    def test_requires_two_points(self):
+        with pytest.raises(DataError):
+            empirical_variogram([[0.0, 0.0]], [1.0])
+
+    def test_max_dist_too_small(self):
+        pts, vals = gaussian_field(50, 2.0, 85)
+        with pytest.raises(ParameterError):
+            empirical_variogram(pts, vals, max_dist=-1.0)
+
+
+class TestVariogramModel:
+    def test_all_models_monotone_bounded(self):
+        for name in VARIOGRAM_MODELS:
+            m = VariogramModel(name, nugget=0.1, psill=1.0, range_=3.0)
+            h = np.linspace(0.001, 20, 200)
+            g = m(h)
+            assert (np.diff(g) >= -1e-12).all()
+            assert g.max() <= m.sill + 1e-9
+
+    def test_zero_at_origin(self):
+        m = VariogramModel("spherical", nugget=0.2, psill=1.0, range_=2.0)
+        assert m(0.0) == 0.0
+
+    def test_covariance_complement(self):
+        m = VariogramModel("exponential", nugget=0.1, psill=0.9, range_=2.0)
+        h = np.linspace(0, 10, 50)
+        np.testing.assert_allclose(m.covariance(h) + m(h), m.sill, atol=1e-12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            VariogramModel("spherical", nugget=-0.1, psill=1.0, range_=1.0)
+        with pytest.raises(ParameterError):
+            VariogramModel("spherical", nugget=0.0, psill=1.0, range_=0.0)
+        with pytest.raises(ParameterError):
+            VariogramModel("wavelet", nugget=0.0, psill=1.0, range_=1.0)
+
+
+class TestFitting:
+    @pytest.mark.parametrize("model", sorted(VARIOGRAM_MODELS))
+    def test_recovers_synthetic_model(self, model):
+        truth = VariogramModel(model, nugget=0.15, psill=1.0, range_=3.0)
+        lags = np.linspace(0.2, 6.0, 20)
+        gamma = truth(lags)
+        fit = fit_variogram(lags, gamma, model=model)
+        np.testing.assert_allclose(fit(lags), gamma, atol=0.05)
+
+    def test_weighted_fit_prefers_heavy_bins(self):
+        truth = VariogramModel("spherical", nugget=0.0, psill=1.0, range_=3.0)
+        lags = np.linspace(0.2, 6.0, 15)
+        gamma = truth(lags).copy()
+        gamma[-1] += 5.0  # a corrupted, low-count bin
+        counts = np.full(15, 1000.0)
+        counts[-1] = 1.0
+        fit = fit_variogram(lags, gamma, model="spherical", counts=counts)
+        assert abs(fit.sill - 1.0) < 0.2
+
+    def test_fit_on_field_data_reasonable(self):
+        pts, vals = gaussian_field(300, 2.5, 86)
+        lags, gamma, counts = empirical_variogram(pts, vals, n_bins=12)
+        fit = fit_variogram(lags, gamma, counts=counts)
+        assert 0.0 <= fit.nugget < fit.sill
+        assert fit.range_ > 0.1
+
+    def test_too_few_bins(self):
+        with pytest.raises(DataError):
+            fit_variogram([1.0, 2.0], [0.1, 0.2])
+
+    def test_unknown_model(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            fit_variogram([1.0, 2.0, 3.0], [0.1, 0.2, 0.3], model="cubic")
+
+    def test_degenerate_zero_values(self):
+        with pytest.raises(ConvergenceError):
+            fit_variogram([1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
