@@ -23,6 +23,7 @@ __all__ = [
     "check_thresholds",
     "check_probability",
     "resolve_rng",
+    "chunk_ranges",
 ]
 
 

@@ -1,0 +1,49 @@
+"""reprolint — AST-based static analysis for the repro library.
+
+The paper's tool surface (six analytic tools x seven kernels x many
+acceleration variants) means dozens of public entry points that must all
+validate inputs, raise typed errors and keep numerical invariants.  This
+subpackage makes those conventions machine-checked: a rule registry of
+``RPRnnn`` checks built on stdlib :mod:`ast`, an engine with inline
+``# reprolint: disable=RPRnnn`` pragmas and a JSON baseline of justified
+exceptions, text/JSON reporters, and a CLI::
+
+    python -m repro.analysis src/repro --format json \
+        --baseline .reprolint-baseline.json
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and workflows.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
+from .cli import build_parser, main
+from .config import LintConfig, find_project_root, load_config
+from .engine import AnalysisResult, analyze_paths, analyze_source, iter_python_files
+from .registry import Rule, all_rules, get_rule, rule_ids
+from .reporting import render_json, render_text
+from .violations import PARSE_ERROR_ID, Violation
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "LintConfig",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "build_parser",
+    "find_project_root",
+    "get_rule",
+    "iter_python_files",
+    "load_baseline",
+    "load_config",
+    "main",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "write_baseline",
+]

@@ -1,0 +1,167 @@
+"""Baseline files: accepted violations with recorded justifications.
+
+A baseline lets the linter be adopted on a codebase with known, deliberate
+deviations: each entry names a (path, rule, symbol) fingerprint plus a
+mandatory one-line justification, and matching violations are reported as
+*baselined* instead of failing the run.  Fingerprints carry no line
+numbers, so refactors that move code inside the same symbol do not churn
+the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import AnalysisError
+from .violations import Violation
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline"]
+
+#: Current on-disk format version.
+BASELINE_VERSION = 1
+
+#: Justification written by ``--write-baseline``; humans should edit it.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify this accepted violation"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted violation: fingerprint plus justification."""
+
+    path: str
+    rule: str
+    symbol: str
+    justification: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The (path, rule, symbol) key used to match violations."""
+        return (self.path, self.rule, self.symbol)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return dataclasses.asdict(self)
+
+
+class Baseline:
+    """In-memory baseline with usage tracking for unused-entry reporting."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        """Index ``entries`` by fingerprint; duplicates are an error."""
+        self._entries: dict[tuple[str, str, str], BaselineEntry] = {}
+        for entry in entries:
+            key = entry.fingerprint()
+            if key in self._entries:
+                raise AnalysisError(
+                    f"duplicate baseline entry for {entry.path}:{entry.rule}"
+                    f":{entry.symbol}"
+                )
+            self._entries[key] = entry
+        self._used: set[tuple[str, str, str]] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[BaselineEntry]:
+        """All entries in insertion order."""
+        return list(self._entries.values())
+
+    def matches(self, violation: Violation) -> bool:
+        """True when ``violation`` is baselined; marks the entry as used."""
+        key = violation.fingerprint()
+        if key in self._entries:
+            self._used.add(key)
+            return True
+        return False
+
+    def unused_entries(self) -> list[BaselineEntry]:
+        """Entries that matched nothing — candidates for deletion."""
+        return [
+            entry
+            for key, entry in self._entries.items()
+            if key not in self._used
+        ]
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read and validate a baseline JSON file.
+
+    Every entry must carry the four string fields and a non-empty
+    justification; anything else raises :class:`AnalysisError` so CI fails
+    loudly on a hand-edited-broken file rather than silently accepting
+    violations.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise AnalysisError(f"baseline {path} must be an object with 'entries'")
+    entries: list[BaselineEntry] = []
+    for index, raw in enumerate(payload["entries"]):
+        if not isinstance(raw, dict):
+            raise AnalysisError(f"baseline {path}: entry {index} is not an object")
+        missing = {"path", "rule", "symbol", "justification"} - set(raw)
+        if missing:
+            raise AnalysisError(
+                f"baseline {path}: entry {index} is missing "
+                f"{', '.join(sorted(missing))}"
+            )
+        if not str(raw["justification"]).strip():
+            raise AnalysisError(
+                f"baseline {path}: entry {index} "
+                f"({raw['path']}:{raw['rule']}:{raw['symbol']}) has an empty "
+                f"justification — every accepted violation needs a reason"
+            )
+        entries.append(
+            BaselineEntry(
+                path=str(raw["path"]),
+                rule=str(raw["rule"]),
+                symbol=str(raw["symbol"]),
+                justification=str(raw["justification"]),
+            )
+        )
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: str | Path,
+    violations: Iterable[Violation],
+    existing: Baseline | None = None,
+) -> Baseline:
+    """Write a baseline accepting ``violations``; returns what was written.
+
+    Justifications from ``existing`` are preserved for fingerprints that
+    are still live; new fingerprints get a placeholder justification that a
+    human must edit (the loader accepts it, reviewers should not).
+    """
+    keep: dict[tuple[str, str, str], BaselineEntry] = {}
+    prior = {e.fingerprint(): e for e in existing.entries} if existing else {}
+    for violation in violations:
+        key = violation.fingerprint()
+        if key in keep:
+            continue
+        if key in prior:
+            keep[key] = prior[key]
+        else:
+            keep[key] = BaselineEntry(
+                path=violation.path,
+                rule=violation.rule_id,
+                symbol=violation.symbol,
+                justification=PLACEHOLDER_JUSTIFICATION,
+            )
+    entries = [keep[key] for key in sorted(keep)]
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return Baseline(entries)

@@ -1,0 +1,148 @@
+"""reprolint command line: ``python -m repro.analysis [paths] [options]``.
+
+Exit codes: 0 — clean (possibly via baseline/pragmas), 1 — active
+violations found, 2 — configuration or usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .baseline import Baseline, load_baseline, write_baseline
+from .config import DEFAULT_BASELINE_NAME, LintConfig, find_project_root, load_config
+from .engine import analyze_paths
+from .registry import all_rules, get_rule
+from .reporting import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the reprolint CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: AST-based static analysis enforcing the repro "
+            "library's numerical-safety and API contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyse (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline JSON of accepted violations (default: the "
+            "[tool.reprolint] setting, else .reprolint-baseline.json when "
+            "it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current active violations into the baseline file",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run exclusively (e.g. RPR003,RPR006)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.reprolint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="itemise baselined and pragma-suppressed findings in text output",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    """``src/repro`` when it exists (repo layout), else the current dir."""
+    return ["src/repro"] if Path("src/repro").is_dir() else ["."]
+
+
+def _resolve_rules(args: argparse.Namespace):
+    """Apply --select/--disable to the registry; None means registry+config."""
+    if not args.select and not args.disable:
+        return None
+    if args.select:
+        selected = [get_rule(r.strip()) for r in args.select.split(",") if r.strip()]
+    else:
+        selected = all_rules()
+    if args.disable:
+        dropped = {get_rule(r.strip()).rule_id for r in args.disable.split(",") if r.strip()}
+        selected = [r for r in selected if r.rule_id not in dropped]
+    return selected
+
+
+def _resolve_baseline(
+    args: argparse.Namespace, config: LintConfig
+) -> tuple[Baseline | None, Path]:
+    """The baseline to apply (if any) and the path a write would target."""
+    if args.baseline:
+        path = Path(args.baseline)
+        return (load_baseline(path) if path.exists() else None), path
+    if config.baseline:
+        path = config.root / config.baseline
+        return (load_baseline(path) if path.exists() else None), path
+    path = config.root / DEFAULT_BASELINE_NAME
+    return (load_baseline(path) if path.exists() else None), path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:26s} {rule.summary}")
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        root = find_project_root(paths[0] if Path(paths[0]).exists() else Path.cwd())
+        config = LintConfig(root=root) if args.no_config else load_config(root)
+        rules = _resolve_rules(args)
+        baseline, baseline_path = _resolve_baseline(args, config)
+        result = analyze_paths(paths, config=config, rules=rules, baseline=baseline)
+        if args.write_baseline:
+            accepted = result.violations + result.baselined
+            write_baseline(baseline_path, accepted, existing=baseline)
+            print(
+                f"wrote {baseline_path} accepting {len(accepted)} violation(s); "
+                f"edit the justifications before committing"
+            )
+            return 0
+    except AnalysisError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    report = render_json(result) if args.format == "json" else render_text(
+        result, verbose=args.verbose
+    )
+    print(report)
+    return 0 if result.ok else 1

@@ -1,0 +1,96 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleContext` bundles the parsed AST, the raw source lines, the
+``# reprolint: disable=...`` pragma map and a parent-pointer annotation of
+the tree, so each rule can stay a small, stateless visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+__all__ = ["ModuleContext", "parse_pragmas", "attach_parents", "qualname_of"]
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Attribute name used to stash parent pointers on AST nodes.
+_PARENT_ATTR = "_reprolint_parent"
+
+
+def parse_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line.
+
+    The pragma grammar is ``# reprolint: disable=RPR003`` with an optional
+    comma-separated list (``disable=RPR003,RPR007``) or the wildcard
+    ``disable=all``.  A pragma only silences findings reported on its own
+    physical line.
+    """
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            ids = frozenset(
+                token.strip().upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            )
+            if ids:
+                pragmas[lineno] = ids
+    return pragmas
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node in ``tree`` with a pointer to its parent."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT_ATTR, parent)
+
+
+def qualname_of(node: ast.AST) -> str:
+    """Dotted name of the innermost def/class enclosing ``node``.
+
+    Requires :func:`attach_parents` to have run on the tree; returns
+    ``"<module>"`` for top-level statements.
+    """
+    parts: list[str] = []
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            parts.append(current.name)
+        current = getattr(current, _PARENT_ATTR, None)
+    return ".".join(reversed(parts)) if parts else "<module>"
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one Python module."""
+
+    def __init__(self, path: str, source: str) -> None:
+        """Parse ``source`` and precompute pragmas and parent pointers.
+
+        ``path`` is the display/baseline path (ideally project-relative,
+        POSIX-style).  Raises :class:`SyntaxError` on unparsable source;
+        the engine converts that into an ``RPR000`` finding.
+        """
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.pragmas = parse_pragmas(self.lines)
+        attach_parents(self.tree)
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted symbol name enclosing ``node`` (see :func:`qualname_of`)."""
+        return qualname_of(node)
+
+    def is_disabled(self, rule_id: str, line: int) -> bool:
+        """True when a pragma on ``line`` silences ``rule_id``."""
+        ids = self.pragmas.get(line)
+        if not ids:
+            return False
+        return "ALL" in ids or rule_id.upper() in ids
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Iterate over every node in the module tree."""
+        return ast.walk(self.tree)

@@ -1,0 +1,195 @@
+"""Analysis engine: file discovery, rule execution, pragma + baseline triage.
+
+The engine is the pure-library layer under the CLI: it walks the target
+paths, builds a :class:`~repro.analysis.context.ModuleContext` per file,
+runs every enabled rule, and sorts the raw findings into *active*
+(failing), *baselined* (accepted with a justification) and *suppressed*
+(silenced by an inline pragma) buckets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .config import LintConfig, find_project_root
+from .context import ModuleContext
+from .registry import Rule, all_rules
+from .rules import __all__ as _rule_modules  # noqa: F401  (registers rules)
+from .violations import PARSE_ERROR_ID, Violation
+
+__all__ = ["AnalysisResult", "analyze_source", "analyze_paths", "iter_python_files"]
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Outcome of one analysis run over a set of files."""
+
+    violations: list[Violation]
+    baselined: list[Violation]
+    suppressed: list[Violation]
+    files_checked: int
+    unused_baseline: list[BaselineEntry]
+
+    @property
+    def ok(self) -> bool:
+        """True when no active (non-baselined, non-suppressed) findings."""
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation used by ``--format json``."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts": {
+                "active": len(self.violations),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "unused_baseline": len(self.unused_baseline),
+            },
+            "violations": [v.to_dict() for v in self.violations],
+            "baselined": [v.to_dict() for v in self.baselined],
+            "suppressed": [v.to_dict() for v in self.suppressed],
+            "unused_baseline": [e.to_dict() for e in self.unused_baseline],
+        }
+
+
+def iter_python_files(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (sorted, excludes applied)."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            if config is not None and config.is_excluded(
+                _relpath(candidate, config.root)
+            ):
+                continue
+            yield candidate
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    """Project-relative POSIX path used for display and fingerprints."""
+    resolved = path.resolve()
+    if root is not None:
+        root_resolved = Path(root).resolve()
+        if resolved.is_relative_to(root_resolved):
+            return resolved.relative_to(root_resolved).as_posix()
+    return path.as_posix()
+
+
+def _enabled_rules(config: LintConfig | None, rules: Sequence[Rule] | None) -> list[Rule]:
+    """The rule set for a run: explicit ``rules``, else registry + config."""
+    if rules is not None:
+        return list(rules)
+    selected = all_rules()
+    if config is not None:
+        selected = [r for r in selected if config.rule_enabled(r.rule_id)]
+    return selected
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    rules: Sequence[Rule] | None = None,
+    respect_pragmas: bool = True,
+) -> list[Violation]:
+    """Run rules over in-memory source; the fixture-test entry point.
+
+    Returns the findings that survive pragma filtering (all findings when
+    ``respect_pragmas`` is false).  Unparsable source yields a single
+    ``RPR000`` finding rather than raising.
+    """
+    try:
+        ctx = ModuleContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file cannot be parsed: {exc.msg}",
+            )
+        ]
+    findings: list[Violation] = []
+    for rule in _enabled_rules(None, rules):
+        findings.extend(rule.check(ctx))
+    findings.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    if not respect_pragmas:
+        return findings
+    return [v for v in findings if not ctx.is_disabled(v.rule_id, v.line)]
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisResult:
+    """Analyze files/directories and triage findings.
+
+    ``config`` defaults to an empty configuration rooted at the nearest
+    ``pyproject.toml`` (for stable relative paths); pass the result of
+    :func:`repro.analysis.config.load_config` to honour pyproject settings.
+    """
+    if config is None:
+        start = Path(paths[0]) if paths else Path.cwd()
+        config = LintConfig(root=find_project_root(start))
+    active: list[Violation] = []
+    baselined: list[Violation] = []
+    suppressed: list[Violation] = []
+    files_checked = 0
+    selected = _enabled_rules(config, rules)
+    for file_path in iter_python_files(paths, config):
+        files_checked += 1
+        relpath = _relpath(file_path, config.root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx: ModuleContext | None = ModuleContext(relpath, source)
+            parse_failure: Violation | None = None
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            ctx = None
+            detail = getattr(exc, "msg", None) or str(exc)
+            parse_failure = Violation(
+                rule_id=PARSE_ERROR_ID,
+                path=relpath,
+                line=getattr(exc, "lineno", None) or 1,
+                col=0,
+                message=f"file cannot be analysed: {detail}",
+            )
+        if ctx is None and parse_failure is not None:
+            if baseline is not None and baseline.matches(parse_failure):
+                baselined.append(parse_failure)
+            else:
+                active.append(parse_failure)
+            continue
+        file_findings: list[Violation] = []
+        for rule in selected:
+            file_findings.extend(rule.check(ctx))
+        file_findings.sort(key=lambda v: (v.line, v.col, v.rule_id))
+        for violation in file_findings:
+            if ctx.is_disabled(violation.rule_id, violation.line):
+                suppressed.append(violation)
+            elif baseline is not None and baseline.matches(violation):
+                baselined.append(violation)
+            else:
+                active.append(violation)
+    return AnalysisResult(
+        violations=active,
+        baselined=baselined,
+        suppressed=suppressed,
+        files_checked=files_checked,
+        unused_baseline=baseline.unused_entries() if baseline is not None else [],
+    )

@@ -1,0 +1,47 @@
+"""Text and JSON rendering of analysis results."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary.
+
+    With ``verbose`` the baselined/suppressed findings and unused baseline
+    entries are itemised too; by default they only appear in the summary
+    counts.
+    """
+    lines: list[str] = []
+    for violation in result.violations:
+        lines.append(violation.render())
+    if verbose:
+        for violation in result.baselined:
+            lines.append(f"{violation.render()} [baselined]")
+        for violation in result.suppressed:
+            lines.append(f"{violation.render()} [suppressed by pragma]")
+        for entry in result.unused_baseline:
+            lines.append(
+                f"{entry.path}: unused baseline entry {entry.rule}:{entry.symbol}"
+                f" ({entry.justification})"
+            )
+    summary = (
+        f"{len(result.violations)} violation"
+        f"{'' if len(result.violations) == 1 else 's'} "
+        f"({len(result.baselined)} baselined, {len(result.suppressed)} "
+        f"suppressed) across {result.files_checked} file"
+        f"{'' if result.files_checked == 1 else 's'}"
+    )
+    if result.unused_baseline:
+        summary += f"; {len(result.unused_baseline)} unused baseline entries"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (stable shape, see AnalysisResult.to_dict)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=False)

@@ -1,0 +1,155 @@
+"""RPR007/RPR008 — documented, accurately-exported public surfaces.
+
+RPR007 requires a docstring on every public module-level function and
+class: with dozens of entry points across six analytic tools, undocumented
+surface is unusable surface.  RPR008 keeps ``__all__`` honest in both
+directions — every listed name must exist, and every public def/class in
+the module must be listed — so ``from repro.x import *`` and the API docs
+never drift from the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["DocstringRule", "DunderAllRule"]
+
+
+@register
+class DocstringRule(Rule):
+    """Public module-level functions and classes need docstrings."""
+
+    rule_id = "RPR007"
+    name = "missing-docstring"
+    summary = "public module-level functions and classes must have docstrings"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag public top-level defs/classes without a docstring."""
+        for node in ctx.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not ast.get_docstring(node):
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"public {kind} {node.name!r} has no docstring",
+                    symbol=node.name,
+                )
+
+
+def _collect_defined(body: list[ast.stmt], defined: set[str], defs: set[str]) -> None:
+    """Accumulate names bound at (conditional) module top level.
+
+    ``defined`` receives every bound name (defs, classes, assignments and
+    imports); ``defs`` receives only the names of function/class statements
+    actually defined here, which are the ones required to appear in
+    ``__all__``.  Recurses into top-level ``if``/``try`` so conditional
+    imports are seen.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+            defs.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        defined.add(name_node.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                defined.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                defined.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            _collect_defined(stmt.body, defined, defs)
+            _collect_defined(stmt.orelse, defined, defs)
+        elif isinstance(stmt, ast.Try):
+            _collect_defined(stmt.body, defined, defs)
+            for handler in stmt.handlers:
+                _collect_defined(handler.body, defined, defs)
+            _collect_defined(stmt.orelse, defined, defs)
+            _collect_defined(stmt.finalbody, defined, defs)
+
+
+def _static_all(tree: ast.Module) -> tuple[ast.stmt, list[str]] | None:
+    """The ``__all__`` assignment and its entries, if statically resolvable."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                    isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    for el in value.elts
+                ):
+                    return stmt, [el.value for el in value.elts]
+                return None
+    return None
+
+
+@register
+class DunderAllRule(Rule):
+    """``__all__`` must exactly track the module's public defs/classes."""
+
+    rule_id = "RPR008"
+    name = "all-mismatch"
+    summary = (
+        "__all__ entries must exist, and public module-level defs/classes "
+        "must be listed in __all__"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag undefined ``__all__`` entries and unlisted public names."""
+        found = _static_all(ctx.tree)
+        if found is None:
+            return
+        all_stmt, exported = found
+        has_star = any(
+            isinstance(stmt, ast.ImportFrom)
+            and any(alias.name == "*" for alias in stmt.names)
+            for stmt in ctx.tree.body
+        )
+        defined: set[str] = set()
+        defs: set[str] = set()
+        _collect_defined(ctx.tree.body, defined, defs)
+        if not has_star:
+            for entry in exported:
+                if entry not in defined:
+                    yield self.violation(
+                        ctx,
+                        all_stmt,
+                        f"__all__ lists {entry!r}, which is not defined in "
+                        f"the module",
+                    )
+        listed = set(exported)
+        for name in sorted(defs):
+            if not name.startswith("_") and name not in listed:
+                yield self.violation(
+                    ctx,
+                    all_stmt,
+                    f"public name {name!r} is defined here but missing from "
+                    f"__all__",
+                )

@@ -1,0 +1,92 @@
+"""RPR003/RPR004 — no asserts in library code, no mutable defaults.
+
+``assert`` statements vanish under ``python -O``, so a contract guarded by
+one silently stops being checked in optimised deployments — the validation
+helpers in :mod:`repro._validation` are the supported way to enforce
+invariants.  Mutable default arguments (``def f(x=[])``) are the classic
+shared-state bug and are banned outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["NoAssertRule", "MutableDefaultRule"]
+
+#: Builtin constructors whose zero/any-arg call is a fresh mutable object.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+)
+
+
+@register
+class NoAssertRule(Rule):
+    """Library code must not rely on ``assert`` for runtime checks."""
+
+    rule_id = "RPR003"
+    name = "no-assert"
+    summary = (
+        "assert statements are stripped under -O; raise a repro.errors "
+        "type via repro._validation instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag every ``assert`` statement in the module."""
+        for node in ctx.walk():
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "assert statement in library code; raise ParameterError/"
+                    "DataError (repro.errors) instead",
+                )
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    """True when a default-value expression builds a mutable object."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Default argument values must be immutable."""
+
+    rule_id = "RPR004"
+    name = "mutable-default"
+    summary = "mutable default arguments are shared across calls; use None"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag list/dict/set (literal or constructor) default values."""
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        "mutable default argument; default to None and "
+                        "construct inside the function",
+                        symbol=ctx.qualname(default),
+                    )

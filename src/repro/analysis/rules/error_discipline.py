@@ -1,0 +1,155 @@
+"""RPR002/RPR006 — typed errors only, and no swallowed exceptions.
+
+RPR002 enforces the library contract documented in :mod:`repro.errors`:
+every exception raised from ``src/repro`` derives from ``ReproError`` so
+callers can catch library failures with one ``except ReproError``.  The
+allowed names are introspected from :mod:`repro.errors` at import time, so
+adding a new error type there automatically teaches the linter about it.
+
+RPR006 bans bare ``except:`` clauses and handlers whose whole body is
+``pass``/``...`` — silently discarding an exception hides data bugs that
+the validation layer exists to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ... import errors as _errors
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["RaiseDisciplineRule", "ExceptHygieneRule", "ALLOWED_RAISES"]
+
+
+def _library_exception_names() -> frozenset[str]:
+    """Names of exception classes exported by :mod:`repro.errors`."""
+    names = {
+        name
+        for name, obj in vars(_errors).items()
+        if isinstance(obj, type) and issubclass(obj, BaseException)
+    }
+    return frozenset(names)
+
+
+#: Exception class names a ``raise`` inside src/repro may construct.
+#: ``NotImplementedError`` is conventionally allowed for abstract hooks.
+ALLOWED_RAISES = _library_exception_names() | {"NotImplementedError"}
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """Terminal identifier of a dotted expression (``a.b.C`` -> ``"C"``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _handler_bound_names(tree: ast.AST) -> frozenset[str]:
+    """Names bound by ``except ... as name`` anywhere in the module."""
+    return frozenset(
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.name
+    )
+
+
+def _locally_allowed_classes(tree: ast.Module) -> frozenset[str]:
+    """Classes defined in this module that subclass an allowed exception.
+
+    Lets a module define ``class FooError(ReproError)`` and raise it
+    without tripping the rule (the transitive check is name-based, which
+    is as far as a single-module AST pass can see).
+    """
+    allowed = set(ALLOWED_RAISES)
+    changed = True
+    while changed:
+        changed = False
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name in allowed:
+                continue
+            if any(_terminal_name(base) in allowed for base in node.bases):
+                allowed.add(node.name)
+                changed = True
+    return frozenset(allowed) - ALLOWED_RAISES
+
+
+@register
+class RaiseDisciplineRule(Rule):
+    """Only repro.errors exception types may be raised from library code."""
+
+    rule_id = "RPR002"
+    name = "foreign-exception"
+    summary = (
+        "raise only repro.errors types (or NotImplementedError) from "
+        "library code so callers can catch ReproError uniformly"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag ``raise`` statements constructing non-library exceptions."""
+        rethrowable = _handler_bound_names(ctx.tree)
+        local_ok = _locally_allowed_classes(ctx.tree)
+        allowed = ALLOWED_RAISES | local_ok
+        for node in ctx.walk():
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if exc is None:
+                continue  # bare re-raise inside a handler
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = _terminal_name(target)
+            if name in allowed:
+                continue
+            if not isinstance(exc, ast.Call) and name in rethrowable:
+                continue  # ``raise err`` re-throwing a caught exception
+            yield self.violation(
+                ctx,
+                node,
+                f"raises {name or 'a computed exception'!s}, which is not a "
+                f"repro.errors type; allowed: "
+                f"{', '.join(sorted(ALLOWED_RAISES))}",
+            )
+
+
+@register
+class ExceptHygieneRule(Rule):
+    """No bare ``except:`` and no handlers that swallow exceptions."""
+
+    rule_id = "RPR006"
+    name = "exception-hygiene"
+    summary = "forbid bare except clauses and pass-only exception handlers"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag bare excepts and handlers whose body is only pass/ellipsis."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "name the exception types",
+                )
+                continue
+            if all(_is_noop(stmt) for stmt in node.body):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "exception handler silently swallows the error; handle "
+                    "it, log it, or re-raise a repro.errors type",
+                )
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    """True for ``pass`` and bare ``...`` statements."""
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )

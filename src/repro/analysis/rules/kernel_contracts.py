@@ -1,0 +1,100 @@
+"""RPR005 — every Kernel subclass must honour the kernel interface.
+
+The acceleration backends (sweep line, dual-tree, bound refinement) are
+generic over :class:`repro.core.kernels.Kernel` and assume each concrete
+kernel provides a registry ``name``, the squared-distance fast path
+``evaluate_sq``, a ``support_radius`` and the Equation 1 normalisation
+``integral``.  A subclass missing any of these fails at a distance — deep
+inside a backend, on a data-dependent path — so the contract is checked
+statically here instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["KernelContractRule", "REQUIRED_ATTRIBUTES", "REQUIRED_METHODS"]
+
+#: Class attributes every concrete Kernel must assign.
+REQUIRED_ATTRIBUTES = ("name",)
+
+#: Methods every concrete Kernel must implement.
+REQUIRED_METHODS = ("evaluate_sq", "support_radius", "integral")
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """Terminal identifier of a dotted expression (``a.b.C`` -> ``"C"``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _assigned_names(cls: ast.ClassDef) -> set[str]:
+    """Names bound by class-level assignments (plain and annotated)."""
+    names: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                names.add(stmt.target.id)
+    return names
+
+
+def _method_names(cls: ast.ClassDef) -> set[str]:
+    """Names of methods defined directly on the class."""
+    return {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register
+class KernelContractRule(Rule):
+    """Direct Kernel subclasses must define the full kernel interface."""
+
+    rule_id = "RPR005"
+    name = "kernel-contract"
+    summary = (
+        "Kernel subclasses must assign 'name' and implement evaluate_sq, "
+        "support_radius and integral"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag Kernel subclasses missing required attributes or methods."""
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_terminal_name(base) == "Kernel" for base in node.bases):
+                continue
+            assigned = _assigned_names(node)
+            methods = _method_names(node)
+            missing: list[str] = []
+            missing.extend(
+                f"class attribute {attr!r}"
+                for attr in REQUIRED_ATTRIBUTES
+                if attr not in assigned
+            )
+            missing.extend(
+                f"method {meth!r}()"
+                for meth in REQUIRED_METHODS
+                if meth not in methods
+            )
+            if missing:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"Kernel subclass {node.name!r} is missing "
+                    f"{', '.join(missing)}",
+                    symbol=node.name,
+                )

@@ -1,0 +1,121 @@
+"""RPR001 — public entry points must validate coordinate inputs.
+
+The library's contract is that every public function funnels raw
+coordinate arrays through :mod:`repro._validation` (``as_points`` and
+friends) before doing arithmetic on them, so that shape/NaN errors are
+raised as typed :class:`~repro.errors.DataError` at the boundary instead
+of surfacing as cryptic NumPy failures deep in a kernel.
+
+The rule fires when a public module-level function takes a parameter with
+a coordinate-ish name (``points``, ``coords``, ...) and *touches* it
+directly — subscripts it, reads an attribute, iterates it, or uses it in
+arithmetic — without ever passing it to a validation helper.  Forwarding
+the parameter whole to another callable (delegation, e.g. to
+``KDVProblem(points, ...)`` which validates internally) is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..._validation import __all__ as _validation_exports
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["ValidationContractRule", "COORDINATE_PARAMS", "VALIDATION_HELPERS"]
+
+#: Parameter names treated as raw coordinate inputs.
+COORDINATE_PARAMS = frozenset({"points", "coords", "coordinates", "locations"})
+
+#: Helper names (from repro._validation.__all__) that count as validation.
+VALIDATION_HELPERS = frozenset(_validation_exports)
+
+
+def _terminal_name(func: ast.AST) -> str:
+    """Terminal identifier of a call target (``a.b.c`` -> ``"c"``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """All positional/keyword parameter names of ``fn``."""
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _is_validated(fn: ast.AST, param: str) -> bool:
+    """True if ``param`` is ever passed to a repro._validation helper."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        if _terminal_name(node.func) not in VALIDATION_HELPERS:
+            continue
+        candidates = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in candidates:
+            if isinstance(arg, ast.Name) and arg.id == param:
+                return True
+    return False
+
+
+def _first_raw_touch(fn: ast.AST, param: str) -> ast.AST | None:
+    """First use of ``param`` that is not a whole-value call argument.
+
+    Passing ``param`` unmodified into another call is delegation and does
+    not count; subscripting, attribute access, arithmetic, comparisons and
+    iteration all count as touching unvalidated coordinates.
+    """
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Name) and child.id == param:
+                if isinstance(child.ctx, ast.Load) and not isinstance(node, ast.keyword):
+                    if isinstance(node, (ast.arguments, ast.Return)):
+                        continue
+                    return child
+    return None
+
+
+@register
+class ValidationContractRule(Rule):
+    """Public functions must route coordinate parameters through validation."""
+
+    rule_id = "RPR001"
+    name = "unvalidated-coordinates"
+    summary = (
+        "public functions must pass coordinate parameters through a "
+        "repro._validation helper before using them directly"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag public module-level functions that touch raw coordinates."""
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            for param in _param_names(node):
+                if param not in COORDINATE_PARAMS:
+                    continue
+                if _is_validated(node, param):
+                    continue
+                touch = _first_raw_touch(node, param)
+                if touch is not None:
+                    yield self.violation(
+                        ctx,
+                        touch,
+                        f"parameter {param!r} is used directly without a "
+                        f"repro._validation call (expected one of: "
+                        f"{', '.join(sorted(VALIDATION_HELPERS))})",
+                        symbol=node.name,
+                    )

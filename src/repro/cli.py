@@ -45,6 +45,7 @@ def _parse_size(text: str) -> tuple[int, int]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``python -m repro`` command suite."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Large-scale geospatial analytics on CSV point files.",

@@ -31,6 +31,7 @@ from ..errors import ParameterError
 
 __all__ = [
     "Kernel",
+    "clamp_non_negative",
     "UniformKernel",
     "EpanechnikovKernel",
     "QuarticKernel",
@@ -41,6 +42,19 @@ __all__ = [
     "get_kernel",
     "KERNELS",
 ]
+
+
+def clamp_non_negative(values: np.ndarray) -> np.ndarray:
+    """Clamp kernel values to ``>= 0`` against floating-point cancellation.
+
+    Finite-support kernels are mathematically non-negative on their
+    support, but evaluating them in float64 can dip a few ulp below zero
+    at the boundary (e.g. ``cos(pi*d/(2b))`` at ``d == b`` rounds to
+    ``~-1.6e-16``).  Negative densities violate the library's numerical
+    contract (and downstream ``log``/``sqrt`` consumers), so every
+    finite-support ``evaluate_sq`` routes its result through this clamp.
+    """
+    return np.maximum(values, 0.0)
 
 
 class Kernel(ABC):
@@ -119,7 +133,7 @@ class EpanechnikovKernel(Kernel):
         b = check_positive(bandwidth, "bandwidth")
         d2 = np.asarray(d2, dtype=np.float64)
         vals = 1.0 - d2 / (b * b)
-        return np.where(d2 <= b * b, vals, 0.0)
+        return clamp_non_negative(np.where(d2 <= b * b, vals, 0.0))
 
     def support_radius(self, bandwidth: float) -> float:
         return check_positive(bandwidth, "bandwidth")
@@ -196,7 +210,7 @@ class TriangularKernel(Kernel):
     def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
         b = check_positive(bandwidth, "bandwidth")
         d = np.sqrt(np.asarray(d2, dtype=np.float64))
-        return np.where(d <= b, 1.0 - d / b, 0.0)
+        return clamp_non_negative(np.where(d <= b, 1.0 - d / b, 0.0))
 
     def support_radius(self, bandwidth: float) -> float:
         return check_positive(bandwidth, "bandwidth")
@@ -215,7 +229,9 @@ class CosineKernel(Kernel):
     def evaluate_sq(self, d2, bandwidth: float) -> np.ndarray:
         b = check_positive(bandwidth, "bandwidth")
         d = np.sqrt(np.asarray(d2, dtype=np.float64))
-        return np.where(d <= b, np.cos(np.pi * d / (2.0 * b)), 0.0)
+        return clamp_non_negative(
+            np.where(d <= b, np.cos(np.pi * d / (2.0 * b)), 0.0)
+        )
 
     def support_radius(self, bandwidth: float) -> float:
         return check_positive(bandwidth, "bandwidth")

@@ -7,6 +7,15 @@ still letting programming errors (``TypeError`` from NumPy, etc.) propagate.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "DataError",
+    "NetworkError",
+    "ConvergenceError",
+    "AnalysisError",
+]
+
 
 class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
@@ -38,4 +47,13 @@ class ConvergenceError(ReproError, RuntimeError):
 
     Raised by variogram model fitting and by the bound-based KDV refinement
     when it cannot reach the requested guarantee with the given resources.
+    """
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """The :mod:`repro.analysis` static-analysis tooling failed.
+
+    Raised for malformed baseline files, invalid ``[tool.reprolint]``
+    configuration, or unknown rule identifiers — never for lint findings
+    themselves, which are reported as violations.
     """

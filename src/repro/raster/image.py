@@ -16,7 +16,7 @@ from ..errors import DataError
 from .canvas import DensityGrid
 from .colormap import Colormap, get_colormap
 
-__all__ = ["render_rgb", "write_ppm", "write_pgm", "ascii_render"]
+__all__ = ["render_rgb", "write_ppm", "write_pgm", "read_ppm", "ascii_render"]
 
 
 def render_rgb(grid: DensityGrid, colormap: str | Colormap = "heat") -> np.ndarray:

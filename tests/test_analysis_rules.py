@@ -1,0 +1,519 @@
+"""Fixture tests for the reprolint static-analysis subsystem.
+
+Every RPR rule gets at least one violating and one clean snippet, plus
+round-trip tests for the baseline workflow, pragma suppression, config
+parsing and the CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    load_baseline,
+    main,
+    rule_ids,
+    write_baseline,
+)
+from repro.analysis.config import LintConfig, load_config
+from repro.errors import AnalysisError
+
+
+def ids_of(violations):
+    """The set of rule ids present in a list of violations."""
+    return {v.rule_id for v in violations}
+
+
+# ---------------------------------------------------------------------------
+# Rule fixtures: one violating + one clean snippet per rule.
+# ---------------------------------------------------------------------------
+
+
+class TestRPR001Validation:
+    def test_flags_raw_coordinate_use(self):
+        src = (
+            "def density(points, bandwidth):\n"
+            '    """doc"""\n'
+            "    return points[:, 0] * bandwidth\n"
+        )
+        assert "RPR001" in ids_of(analyze_source(src))
+
+    def test_accepts_validated_coordinates(self):
+        src = (
+            "from repro._validation import as_points\n"
+            "def density(points, bandwidth):\n"
+            '    """doc"""\n'
+            "    pts = as_points(points)\n"
+            "    return pts[:, 0] * bandwidth\n"
+        )
+        assert "RPR001" not in ids_of(analyze_source(src))
+
+    def test_accepts_whole_delegation(self):
+        src = (
+            "def density(points, bandwidth):\n"
+            '    """doc"""\n'
+            "    return _impl(points, bandwidth)\n"
+        )
+        assert "RPR001" not in ids_of(analyze_source(src))
+
+    def test_private_functions_exempt(self):
+        src = (
+            "def _impl(points):\n"
+            "    return points[:, 0]\n"
+        )
+        assert "RPR001" not in ids_of(analyze_source(src))
+
+
+class TestRPR002Raises:
+    def test_flags_foreign_exception(self):
+        src = (
+            "def f():\n"
+            '    """doc"""\n'
+            "    raise ValueError('nope')\n"
+        )
+        assert "RPR002" in ids_of(analyze_source(src))
+
+    def test_accepts_library_exceptions_and_reraise(self):
+        src = (
+            "from repro.errors import ParameterError\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "    try:\n"
+            "        raise ParameterError('bad')\n"
+            "    except ParameterError as exc:\n"
+            "        raise\n"
+        )
+        assert "RPR002" not in ids_of(analyze_source(src))
+
+    def test_accepts_local_repro_error_subclass(self):
+        src = (
+            "from repro.errors import ReproError\n"
+            "class ShardError(ReproError):\n"
+            '    """doc"""\n'
+            "def f():\n"
+            '    """doc"""\n'
+            "    raise ShardError('bad shard')\n"
+        )
+        violations = analyze_source(src)
+        assert "RPR002" not in ids_of(violations)
+
+    def test_flags_rethrow_of_unknown_name(self):
+        src = (
+            "def f(exc_type):\n"
+            '    """doc"""\n'
+            "    raise RuntimeError\n"
+        )
+        assert "RPR002" in ids_of(analyze_source(src))
+
+
+class TestRPR003Assert:
+    def test_flags_assert(self):
+        src = (
+            "def f(x):\n"
+            '    """doc"""\n'
+            "    assert x > 0\n"
+            "    return x\n"
+        )
+        assert "RPR003" in ids_of(analyze_source(src))
+
+    def test_accepts_validation_raise(self):
+        src = (
+            "from repro._validation import check_positive\n"
+            "def f(x):\n"
+            '    """doc"""\n'
+            "    return check_positive(x, 'x')\n"
+        )
+        assert "RPR003" not in ids_of(analyze_source(src))
+
+
+class TestRPR004MutableDefault:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "dict()", "list()", "[1, 2]"]
+    )
+    def test_flags_mutable_defaults(self, default):
+        src = (
+            f"def f(x={default}):\n"
+            '    """doc"""\n'
+            "    return x\n"
+        )
+        assert "RPR004" in ids_of(analyze_source(src))
+
+    def test_flags_mutable_kwonly_default(self):
+        src = (
+            "def f(*, x=[]):\n"
+            '    """doc"""\n'
+            "    return x\n"
+        )
+        assert "RPR004" in ids_of(analyze_source(src))
+
+    def test_accepts_immutable_defaults(self):
+        src = (
+            "def f(x=None, y=(), z='a', n=3):\n"
+            '    """doc"""\n'
+            "    return x, y, z, n\n"
+        )
+        assert "RPR004" not in ids_of(analyze_source(src))
+
+
+class TestRPR005KernelContract:
+    def test_flags_incomplete_kernel_subclass(self):
+        src = (
+            "from repro.core.kernels import Kernel\n"
+            "class BrokenKernel(Kernel):\n"
+            '    """doc"""\n'
+            "    def evaluate_sq(self, d2, bandwidth):\n"
+            "        return d2\n"
+        )
+        violations = [v for v in analyze_source(src) if v.rule_id == "RPR005"]
+        assert len(violations) == 1
+        assert "'name'" in violations[0].message
+        assert "support_radius" in violations[0].message
+        assert "integral" in violations[0].message
+
+    def test_accepts_complete_kernel_subclass(self):
+        src = (
+            "from repro.core.kernels import Kernel\n"
+            "class FineKernel(Kernel):\n"
+            '    """doc"""\n'
+            "    name = 'fine'\n"
+            "    def evaluate_sq(self, d2, bandwidth):\n"
+            "        return d2\n"
+            "    def support_radius(self, bandwidth):\n"
+            "        return bandwidth\n"
+            "    def integral(self, bandwidth):\n"
+            "        return 1.0\n"
+        )
+        assert "RPR005" not in ids_of(analyze_source(src))
+
+    def test_unrelated_class_ignored(self):
+        src = (
+            "class Plain:\n"
+            '    """doc"""\n'
+        )
+        assert "RPR005" not in ids_of(analyze_source(src))
+
+
+class TestRPR006ExceptHygiene:
+    def test_flags_bare_except(self):
+        src = (
+            "def f():\n"
+            '    """doc"""\n'
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        raise\n"
+        )
+        assert "RPR006" in ids_of(analyze_source(src))
+
+    def test_flags_swallowed_exception(self):
+        src = (
+            "def f():\n"
+            '    """doc"""\n'
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert "RPR006" in ids_of(analyze_source(src))
+
+    def test_accepts_handled_exception(self):
+        src = (
+            "from repro.errors import DataError\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "    try:\n"
+            "        return g()\n"
+            "    except ValueError as exc:\n"
+            "        raise DataError('bad input') from exc\n"
+        )
+        assert "RPR006" not in ids_of(analyze_source(src))
+
+
+class TestRPR007Docstrings:
+    def test_flags_missing_docstrings(self):
+        src = (
+            "def f():\n"
+            "    return 1\n"
+            "class C:\n"
+            "    pass\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR007"]
+        assert {v.symbol for v in found} == {"f", "C"}
+
+    def test_accepts_documented_and_private(self):
+        src = (
+            "def f():\n"
+            '    """doc"""\n'
+            "def _helper():\n"
+            "    return 2\n"
+        )
+        assert "RPR007" not in ids_of(analyze_source(src))
+
+
+class TestRPR008DunderAll:
+    def test_flags_undefined_export(self):
+        src = (
+            "__all__ = ['missing']\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR008"]
+        assert len(found) == 1
+        assert "missing" in found[0].message
+
+    def test_flags_unlisted_public_def(self):
+        src = (
+            "__all__ = ['f']\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "def g():\n"
+            '    """doc"""\n'
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR008"]
+        assert len(found) == 1
+        assert "'g'" in found[0].message
+
+    def test_accepts_consistent_all(self):
+        src = (
+            "import os\n"
+            "__all__ = ['f', 'CONST', 'os']\n"
+            "CONST = 3\n"
+            "def f():\n"
+            '    """doc"""\n'
+        )
+        assert "RPR008" not in ids_of(analyze_source(src))
+
+    def test_module_without_all_is_ignored(self):
+        src = (
+            "def f():\n"
+            '    """doc"""\n'
+        )
+        assert "RPR008" not in ids_of(analyze_source(src))
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rpr000(self):
+        found = analyze_source("def broken(:\n")
+        assert ids_of(found) == {"RPR000"}
+
+
+# ---------------------------------------------------------------------------
+# Pragmas, baseline, config, CLI.
+# ---------------------------------------------------------------------------
+
+
+class TestPragmas:
+    SRC = (
+        "def f(x):\n"
+        '    """doc"""\n'
+        "    assert x  # reprolint: disable=RPR003\n"
+        "    assert x\n"
+    )
+
+    def test_pragma_silences_only_its_line(self):
+        found = [v for v in analyze_source(self.SRC) if v.rule_id == "RPR003"]
+        assert [v.line for v in found] == [4]
+
+    def test_disable_all_pragma(self):
+        src = "def f():\n    return 1  # reprolint: disable=all\n"
+        # RPR007 anchors on the def line, not the pragma line -> still fires.
+        assert "RPR007" in ids_of(analyze_source(src))
+        src = "def f():  # reprolint: disable=all\n    return 1\n"
+        assert analyze_source(src) == []
+
+    def test_respect_pragmas_false_returns_everything(self):
+        found = analyze_source(self.SRC, respect_pragmas=False)
+        assert len([v for v in found if v.rule_id == "RPR003"]) == 2
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_then_reports_unused(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(x):\n"
+            '    """doc"""\n'
+            "    assert x\n",
+            encoding="utf-8",
+        )
+        config = LintConfig(root=tmp_path)
+        first = analyze_paths([target], config=config)
+        assert ids_of(first.violations) == {"RPR003"}
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.violations)
+        baseline = load_baseline(baseline_path)
+        assert len(baseline) == 1
+
+        second = analyze_paths([target], config=config, baseline=baseline)
+        assert second.ok
+        assert ids_of(second.baselined) == {"RPR003"}
+        assert second.unused_baseline == []
+
+        # Fix the file: the entry is now unused and surfaced as such.
+        target.write_text("def f(x):\n    \"\"\"doc\"\"\"\n    return x\n", encoding="utf-8")
+        third = analyze_paths([target], config=config, baseline=load_baseline(baseline_path))
+        assert third.ok
+        assert [e.rule for e in third.unused_baseline] == ["RPR003"]
+
+    def test_empty_justification_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {"path": "m.py", "rule": "RPR003", "symbol": "f", "justification": "  "}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(AnalysisError, match="justification"):
+            load_baseline(path)
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_duplicate_entries_rejected(self):
+        entry = {"path": "m.py", "rule": "RPR003", "symbol": "f", "justification": "x"}
+        from repro.analysis import BaselineEntry
+
+        with pytest.raises(AnalysisError, match="duplicate"):
+            Baseline([BaselineEntry(**entry), BaselineEntry(**entry)])
+
+
+class TestConfig:
+    def test_load_config_reads_tool_table(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint]\n"
+            'disable = ["RPR007"]\n'
+            'exclude = ["vendored/*"]\n'
+            'baseline = "bl.json"\n',
+            encoding="utf-8",
+        )
+        config = load_config(tmp_path)
+        assert not config.rule_enabled("RPR007")
+        assert config.rule_enabled("RPR003")
+        assert config.is_excluded("vendored/x.py")
+        assert not config.is_excluded("src/x.py")
+        assert config.baseline == "bl.json"
+
+    def test_enable_list_is_exclusive(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.reprolint]\nenable = ["RPR003"]\n', encoding="utf-8"
+        )
+        config = load_config(tmp_path)
+        assert config.rule_enabled("RPR003")
+        assert not config.rule_enabled("RPR006")
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint]\nbogus = 1\n", encoding="utf-8"
+        )
+        with pytest.raises(AnalysisError, match="bogus"):
+            load_config(tmp_path)
+
+    def test_config_disable_applies_to_run(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.reprolint]\ndisable = ["RPR003"]\n', encoding="utf-8"
+        )
+        target = tmp_path / "mod.py"
+        target.write_text("def f(x):\n    \"\"\"doc\"\"\"\n    assert x\n", encoding="utf-8")
+        result = analyze_paths([target], config=load_config(tmp_path))
+        assert result.ok
+
+
+class TestRegistry:
+    def test_eight_domain_rules_registered(self):
+        expected = {f"RPR00{i}" for i in range(1, 9)}
+        assert expected <= set(rule_ids())
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            get_rule("RPR999")
+
+
+class TestCli:
+    def _write_project(self, tmp_path, body):
+        (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n", encoding="utf-8")
+        target = tmp_path / "mod.py"
+        target.write_text(body, encoding="utf-8")
+        return target
+
+    def test_exit_codes(self, tmp_path, capsys):
+        target = self._write_project(
+            tmp_path, "def f(x):\n    \"\"\"doc\"\"\"\n    assert x\n"
+        )
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR003" in out
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    \"\"\"doc\"\"\"\n    return x\n", encoding="utf-8")
+        assert main([str(clean)]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        target = self._write_project(
+            tmp_path, "def f(x):\n    \"\"\"doc\"\"\"\n    assert x\n"
+        )
+        assert main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"]["active"] == 1
+        assert payload["violations"][0]["rule"] == "RPR003"
+
+    def test_select_and_disable(self, tmp_path, capsys):
+        target = self._write_project(
+            tmp_path, "def f(x):\n    assert x\n"
+        )
+        assert main([str(target), "--select", "RPR007"]) == 1
+        assert main([str(target), "--disable", "RPR003,RPR007"]) == 0
+        capsys.readouterr()
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        target = self._write_project(
+            tmp_path, "def f(x):\n    \"\"\"doc\"\"\"\n    assert x\n"
+        )
+        baseline = tmp_path / "bl.json"
+        assert main([str(target), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.exists()
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 9):
+            assert f"RPR00{i}" in out
+
+    def test_config_error_exit_code(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint]\nbogus = 1\n", encoding="utf-8"
+        )
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(target)]) == 2
+        assert "reprolint: error" in capsys.readouterr().err
+
+
+class TestSelfLint:
+    def test_repo_source_tree_is_clean(self):
+        """The library (including the linter itself) passes its own lint."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        src = root / "src" / "repro"
+        if not src.is_dir():
+            pytest.skip("source tree not available")
+        baseline_path = root / ".reprolint-baseline.json"
+        baseline = load_baseline(baseline_path) if baseline_path.exists() else None
+        result = analyze_paths(
+            [src], config=load_config(root), baseline=baseline
+        )
+        assert result.ok, "\n".join(v.render() for v in result.violations)
+        assert result.unused_baseline == []
