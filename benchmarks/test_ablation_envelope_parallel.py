@@ -1,0 +1,115 @@
+"""Ablation F: shared-executor speedup on Monte-Carlo envelopes.
+
+The CSR envelope of the K-function plot (Definition 3) is the library's
+canonical embarrassingly-parallel loop: 99 independent simulations, each
+a full K-curve over a fresh CSR draw.  This ablation times the loop at
+workers in {1, 2, 4, 8} on the thread backend and verifies the
+determinism contract — the envelope at any worker count is bit-identical
+to the serial one.
+
+Besides the human-readable table, the run emits a machine-readable
+``benchmarks/results/BENCH_envelope_parallel.json`` with per-worker mean
+wall-times, so downstream tooling can track the scaling curve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.kfunction import k_function_plot
+
+from _util import RESULTS_DIR, record
+
+N_SIMULATIONS = 99
+N_THRESHOLDS = 10
+SEED = 2023
+WORKER_COUNTS = [1, 2, 4, 8]
+
+ROWS: list[list] = []
+
+
+def _thresholds(bbox):
+    top = 0.2 * bbox.diagonal
+    return np.linspace(top / N_THRESHOLDS, top, N_THRESHOLDS)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_envelope_workers(benchmark, workers, crime):
+    ts = _thresholds(crime.bbox)
+    plot = benchmark.pedantic(
+        k_function_plot,
+        args=(crime.points, crime.bbox, ts),
+        kwargs=dict(
+            n_simulations=N_SIMULATIONS, seed=SEED,
+            workers=workers, backend="thread",
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert plot.observed.shape == (N_THRESHOLDS,)
+    ROWS.append([workers, benchmark.stats.stats.mean])
+
+
+def test_workers_bit_identical(crime):
+    """workers=4 must reproduce workers=1 exactly (the whole point)."""
+    ts = _thresholds(crime.bbox)
+    one = k_function_plot(
+        crime.points, crime.bbox, ts,
+        n_simulations=N_SIMULATIONS, seed=SEED, workers=1,
+    )
+    four = k_function_plot(
+        crime.points, crime.bbox, ts,
+        n_simulations=N_SIMULATIONS, seed=SEED, workers=4, backend="thread",
+    )
+    assert np.array_equal(one.observed, four.observed)
+    assert np.array_equal(one.lower, four.lower)
+    assert np.array_equal(one.upper, four.upper)
+
+
+def test_zz_report(benchmark):
+    def report():
+        by_workers = dict(ROWS)
+        base = by_workers[1]
+        cores = os.cpu_count() or 1
+        payload = {
+            "experiment": "envelope_parallel",
+            "n_events": 2000,
+            "n_simulations": N_SIMULATIONS,
+            "backend": "thread",
+            "cores_available": cores,
+            "results": [
+                {"workers": w, "mean_seconds": t, "speedup": base / t}
+                for w, t in sorted(ROWS)
+            ],
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_envelope_parallel.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        # Speedup claims only hold when physical cores exist to back them;
+        # on a 1-core runner the contract is just "not much slower".
+        if cores >= 4:
+            assert base / by_workers[4] > 1.5
+        elif cores >= 2:
+            assert base / by_workers[2] > 1.1
+        rows = [
+            [w, f"{t * 1e3:.0f} ms", f"{base / t:.2f}x"]
+            for w, t in sorted(ROWS)
+        ]
+        return record(
+            "ablation_envelope_parallel",
+            rows,
+            headers=["workers", "mean time", "speedup"],
+            title=(
+                f"Ablation F: K-function CSR envelope, n=2000, "
+                f"{N_SIMULATIONS} sims, thread backend "
+                f"({cores} cores available)"
+            ),
+        )
+
+    text = benchmark.pedantic(report, rounds=1, iterations=1)
+    assert "speedup" in text

@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     code_hygiene,
     error_discipline,
     kernel_contracts,
+    parallel_discipline,
     validation_contracts,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "code_hygiene",
     "error_discipline",
     "kernel_contracts",
+    "parallel_discipline",
     "validation_contracts",
 ]

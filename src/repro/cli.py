@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     kdv.add_argument("--colormap", default="heat")
     kdv.add_argument("--out", help="output PPM path")
     kdv.add_argument("--ascii", action="store_true", help="print a terminal preview")
+    kdv.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the shared executor (default: REPRO_WORKERS)",
+    )
 
     kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes")
     kfn.add_argument("input")
@@ -77,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     kfn.add_argument(
         "--chart", action="store_true", help="draw the K/L/U curves as text"
     )
+    kfn.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for CSR envelope simulations (default: REPRO_WORKERS)",
+    )
 
     hot = sub.add_parser("hotspots", help="end-to-end hotspot analysis")
     hot.add_argument("input")
@@ -85,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
     hot.add_argument("--quantile", type=float, default=0.95)
     hot.add_argument("--seed", type=int, default=0)
     hot.add_argument("--out", help="output PPM path")
+    hot.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for CSR envelope simulations (default: REPRO_WORKERS)",
+    )
 
     screen = sub.add_parser(
         "csrtest", help="cheap CSR screens: quadrat chi-square + Clark-Evans"
@@ -99,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--bandwidth-time", type=float, required=True)
     st.add_argument("--size", type=_parse_size, default=(128, 96))
     st.add_argument("--out-prefix", default="stkdv_frame")
+    st.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for per-frame evaluation (default: REPRO_WORKERS)",
+    )
 
     return parser
 
@@ -121,9 +137,14 @@ def _cmd_generate(args) -> int:
 
 def _cmd_kdv(args) -> int:
     ds = read_dataset_csv(args.input, margin=0.0)
+    method = args.method
+    if args.workers is not None and method == "auto":
+        # An explicit worker request selects the parallel exact backend.
+        method = "parallel"
     grid = kde_grid(
         ds.points, ds.bbox, args.size, args.bandwidth,
-        kernel=args.kernel, method=args.method,
+        kernel=args.kernel, method=method,
+        workers=args.workers if args.workers is not None else 4,
     )
     print(
         f"KDV over {ds.points.shape[0]} events, grid {args.size[0]}x{args.size[1]}, "
@@ -147,6 +168,7 @@ def _cmd_kfunction(args) -> int:
     plot = k_function_plot(
         ds.points, ds.bbox, thresholds,
         n_simulations=args.simulations, seed=args.seed,
+        workers=args.workers,
     )
     print(f"{'s':>10} {'K(s)':>12} {'L(s)':>12} {'U(s)':>12}  regime")
     for s, k, lo, hi, regime in plot.rows():
@@ -178,6 +200,7 @@ def _cmd_hotspots(args) -> int:
         n_simulations=args.simulations,
         quantile=args.quantile,
         seed=args.seed,
+        workers=args.workers,
     )
     print(report.summary())
     if args.out:
@@ -214,6 +237,7 @@ def _cmd_stkdv(args) -> int:
     result = stkdv(
         ds.points, ds.times, ds.bbox, args.size, frames,
         args.bandwidth_space, args.bandwidth_time,
+        workers=args.workers,
     )
     track = result.hotspot_track()
     for j, (t, (x, y)) in enumerate(zip(frames, track)):

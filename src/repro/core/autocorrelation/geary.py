@@ -18,8 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..._validation import as_values, resolve_rng
+from ..._validation import as_values
 from ...errors import DataError
+from ...parallel import parallel_map, spawn_rngs
 from .moran import _normal_sf
 from .weights import SpatialWeights
 
@@ -54,13 +55,36 @@ def _weighted_square_diffs(weights: SpatialWeights, z: np.ndarray) -> float:
     return total
 
 
+def _geary_perm_task(task):
+    """One Geary permutation draw: is it at least as extreme as observed?"""
+    rng, z, weights, n, s0, observed = task
+    perm = rng.permutation(z)
+    pc = perm - perm.mean()
+    sim = (
+        (n - 1.0)
+        * _weighted_square_diffs(weights, perm)
+        / (2.0 * s0 * float(pc @ pc))
+    )
+    # One-sided toward the observed deviation from 1.
+    if observed <= 1.0:
+        return sim <= observed
+    return sim >= observed
+
+
 def gearys_c(
     values,
     weights: SpatialWeights,
     permutations: int = 0,
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> GearyCResult:
-    """Geary's C with optional permutation inference."""
+    """Geary's C with optional permutation inference.
+
+    Permutation draws use one RNG stream each (see
+    :mod:`repro.parallel`), so ``p_permutation`` is bit-identical for
+    every ``workers``/``backend`` choice.
+    """
     n = weights.n
     z = as_values(values, n)
     zc = z - z.mean()
@@ -95,16 +119,14 @@ def gearys_c(
     p_perm = None
     permutations = int(permutations)
     if permutations > 0:
-        rng = resolve_rng(seed)
-        extreme = 0
-        for _ in range(permutations):
-            sim = stat(rng.permutation(z))
-            # One-sided toward the observed deviation from 1.
-            if (observed <= 1.0 and sim <= observed) or (
-                observed > 1.0 and sim >= observed
-            ):
-                extreme += 1
-        p_perm = (extreme + 1) / (permutations + 1)
+        tasks = [
+            (rng, z, weights, n, s0, observed)
+            for rng in spawn_rngs(seed, permutations)
+        ]
+        flags = parallel_map(
+            _geary_perm_task, tasks, workers=workers, backend=backend, chunksize=16
+        )
+        p_perm = (sum(flags) + 1) / (permutations + 1)
 
     return GearyCResult(
         statistic=float(observed),

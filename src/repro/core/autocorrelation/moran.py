@@ -22,8 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..._validation import as_values, resolve_rng
+from ..._validation import as_values
 from ...errors import DataError, ParameterError
+from ...parallel import parallel_map, spawn_rngs
 from .weights import SpatialWeights
 
 __all__ = ["MoranResult", "morans_i", "LocalMoranResult", "local_morans_i"]
@@ -57,13 +58,29 @@ class MoranResult:
         return self.statistic > self.expected and self.p_value < 0.05
 
 
+def _moran_perm_task(task):
+    """One Moran permutation draw: is the permuted I >= observed?"""
+    rng, z, weights, n, s0, observed = task
+    perm = rng.permutation(z)
+    pc = perm - perm.mean()
+    sim = (n / s0) * float(pc @ weights.lag(pc)) / float(pc @ pc)
+    return sim >= observed
+
+
 def morans_i(
     values,
     weights: SpatialWeights,
     permutations: int = 0,
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> MoranResult:
-    """Global Moran's I with optional permutation inference."""
+    """Global Moran's I with optional permutation inference.
+
+    Permutation draws use one RNG stream each (see
+    :mod:`repro.parallel`), so ``p_permutation`` is bit-identical for
+    every ``workers``/``backend`` choice.
+    """
     n = weights.n
     z = as_values(values, n)
     zc = z - z.mean()
@@ -96,13 +113,14 @@ def morans_i(
     p_perm = None
     permutations = int(permutations)
     if permutations > 0:
-        rng = resolve_rng(seed)
-        extreme = 0
-        for _ in range(permutations):
-            perm = rng.permutation(z)
-            if stat(perm - perm.mean()) >= observed:
-                extreme += 1
-        p_perm = (extreme + 1) / (permutations + 1)
+        tasks = [
+            (rng, z, weights, n, s0, observed)
+            for rng in spawn_rngs(seed, permutations)
+        ]
+        flags = parallel_map(
+            _moran_perm_task, tasks, workers=workers, backend=backend, chunksize=16
+        )
+        p_perm = (sum(flags) + 1) / (permutations + 1)
 
     return MoranResult(
         statistic=observed,
@@ -127,17 +145,41 @@ class LocalMoranResult:
         return self.p_values < alpha
 
 
+def _local_moran_site_task(task):
+    """Conditional permutation inference for one location (module-level)."""
+    rng, i, zc, weights, m2, stat_i, permutations = task
+    cols, w = weights.row(i)
+    k = cols.shape[0]
+    if k == 0:
+        return 1.0, 0.0
+    others = np.delete(zc, i)
+    extreme = 0
+    for _ in range(permutations):
+        draw = rng.choice(others, size=k, replace=False)
+        sim = zc[i] * float(w @ draw) / m2
+        # One-sided in the direction of the observed statistic.
+        if (stat_i >= 0 and sim >= stat_i) or (stat_i < 0 and sim <= stat_i):
+            extreme += 1
+    p_value = (extreme + 1) / (permutations + 1)
+    lag_mean = (w * zc[cols]).sum() / max(w.sum(), 1e-12)
+    return p_value, lag_mean
+
+
 def local_morans_i(
     values,
     weights: SpatialWeights,
     permutations: int = 199,
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> LocalMoranResult:
     """Local Moran's I with conditional permutation inference.
 
     For each location the neighbours' values are re-drawn from the other
     n-1 observations; the pseudo p-value is the rank of the observed local
-    statistic's magnitude in that conditional distribution.
+    statistic's magnitude in that conditional distribution.  Locations
+    fan out over the shared executor with one RNG stream per location,
+    so the p-values are bit-identical for every worker count.
     """
     n = weights.n
     z = as_values(values, n)
@@ -152,26 +194,15 @@ def local_morans_i(
     lag = weights.lag(zc)
     stats = zc * lag / m2
 
-    rng = resolve_rng(seed)
-    p_values = np.empty(n, dtype=np.float64)
-    lag_mean = np.empty(n, dtype=np.float64)
-    for i in range(n):
-        cols, w = weights.row(i)
-        k = cols.shape[0]
-        if k == 0:
-            p_values[i] = 1.0
-            lag_mean[i] = 0.0
-            continue
-        others = np.delete(zc, i)
-        extreme = 0
-        for _ in range(permutations):
-            draw = rng.choice(others, size=k, replace=False)
-            sim = zc[i] * float(w @ draw) / m2
-            # One-sided in the direction of the observed statistic.
-            if (stats[i] >= 0 and sim >= stats[i]) or (stats[i] < 0 and sim <= stats[i]):
-                extreme += 1
-        p_values[i] = (extreme + 1) / (permutations + 1)
-        lag_mean[i] = (w * zc[cols]).sum() / max(w.sum(), 1e-12)
+    tasks = [
+        (rng, i, zc, weights, m2, float(stats[i]), permutations)
+        for i, rng in enumerate(spawn_rngs(seed, n))
+    ]
+    site_results = parallel_map(
+        _local_moran_site_task, tasks, workers=workers, backend=backend, chunksize=8
+    )
+    p_values = np.array([p for p, _ in site_results], dtype=np.float64)
+    lag_mean = np.array([m for _, m in site_results], dtype=np.float64)
 
     labels = []
     for zi, li, p in zip(zc, lag_mean, p_values):

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..._validation import as_points, as_values, check_positive
+from ..._validation import as_points, as_values, check_positive, chunk_ranges
 from ...errors import ParameterError
 from ...geometry import BoundingBox
 from ...index import KDTree
+from ...parallel import parallel_map
 from ...raster import DensityGrid
 
 __all__ = ["idw_grid", "idw_predict", "IDW_METHODS"]
@@ -54,6 +55,45 @@ def _weights_to_values(d2: np.ndarray, z: np.ndarray, power: float) -> np.ndarra
     return out
 
 
+def _idw_naive_block(task):
+    """Naive IDW gather for one query block (module-level for pickling)."""
+    block, pts, p_sq, z, power = task
+    d2 = (
+        np.sum(block * block, axis=1)[:, None]
+        + p_sq[None, :]
+        - 2.0 * (block @ pts.T)
+    )
+    np.maximum(d2, 0.0, out=d2)
+    return _weights_to_values(d2, z, power)
+
+
+def _idw_knn_block(task):
+    """kNN IDW for one query block via the shared kd-tree."""
+    block, tree, z, power, k = task
+    out = np.empty(block.shape[0], dtype=np.float64)
+    for j, row in enumerate(block):
+        dists, idx = tree.knn(row, k)
+        d2 = (dists * dists)[None, :]
+        out[j] = _weights_to_values(d2, z[idx], power)[0]
+    return out
+
+
+def _idw_cutoff_block(task):
+    """Cutoff IDW for one query block via the shared kd-tree."""
+    block, tree, pts, z, power, radius = task
+    out = np.empty(block.shape[0], dtype=np.float64)
+    for j, row in enumerate(block):
+        idx = tree.range_indices(row, radius)
+        if idx.size == 0:
+            # Empty disc: fall back to the nearest sample.
+            _, nn = tree.knn(row, 1)
+            out[j] = z[nn[0]]
+            continue
+        d2 = ((pts[idx] - row) ** 2).sum(axis=1)[None, :]
+        out[j] = _weights_to_values(d2, z[idx], power)[0]
+    return out
+
+
 def idw_predict(
     points,
     values,
@@ -63,56 +103,51 @@ def idw_predict(
     k: int = 12,
     radius: float | None = None,
     chunk: int = 2048,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
-    """IDW prediction at arbitrary query locations."""
+    """IDW prediction at arbitrary query locations.
+
+    Query blocks of ``chunk`` rows (256 for the per-query ``knn``/
+    ``cutoff`` backends) fan out over the shared executor
+    (``workers``/``backend``, see :mod:`repro.parallel`); every block
+    writes its own output slice, so results match the serial evaluation
+    exactly at any worker count.
+    """
     pts = as_points(points)
     z = as_values(values, pts.shape[0])
     q = as_points(queries, name="queries")
     power = check_positive(power, "power")
 
     if method == "naive":
-        out = np.empty(q.shape[0], dtype=np.float64)
         p_sq = np.sum(pts * pts, axis=1)
-        for start in range(0, q.shape[0], int(chunk)):
-            stop = min(start + int(chunk), q.shape[0])
-            block = q[start:stop]
-            d2 = (
-                np.sum(block * block, axis=1)[:, None]
-                + p_sq[None, :]
-                - 2.0 * (block @ pts.T)
-            )
-            np.maximum(d2, 0.0, out=d2)
-            out[start:stop] = _weights_to_values(d2, z, power)
-        return out
+        spans = chunk_ranges(q.shape[0], int(chunk))
+        tasks = [(q[a:b], pts, p_sq, z, power) for a, b in spans]
+        return np.concatenate(
+            parallel_map(_idw_naive_block, tasks, workers=workers, backend=backend)
+        )
 
     if method == "knn":
         k = int(k)
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
         tree = KDTree(pts)
-        out = np.empty(q.shape[0], dtype=np.float64)
-        for i, row in enumerate(q):
-            dists, idx = tree.knn(row, k)
-            d2 = (dists * dists)[None, :]
-            out[i] = _weights_to_values(d2, z[idx], power)[0]
-        return out
+        spans = chunk_ranges(q.shape[0], 256)
+        tasks = [(q[a:b], tree, z, power, k) for a, b in spans]
+        return np.concatenate(
+            parallel_map(_idw_knn_block, tasks, workers=workers, backend=backend)
+        )
 
     if method == "cutoff":
         if radius is None:
             raise ParameterError("method='cutoff' requires a radius")
         radius = check_positive(radius, "radius")
         tree = KDTree(pts)
-        out = np.empty(q.shape[0], dtype=np.float64)
-        for i, row in enumerate(q):
-            idx = tree.range_indices(row, radius)
-            if idx.size == 0:
-                # Empty disc: fall back to the nearest sample.
-                _, nn = tree.knn(row, 1)
-                out[i] = z[nn[0]]
-                continue
-            d2 = ((pts[idx] - row) ** 2).sum(axis=1)[None, :]
-            out[i] = _weights_to_values(d2, z[idx], power)[0]
-        return out
+        spans = chunk_ranges(q.shape[0], 256)
+        tasks = [(q[a:b], tree, pts, z, power, radius) for a, b in spans]
+        return np.concatenate(
+            parallel_map(_idw_cutoff_block, tasks, workers=workers, backend=backend)
+        )
 
     raise ParameterError(
         f"unknown IDW method {method!r}; available: {', '.join(IDW_METHODS)}"
@@ -189,11 +224,15 @@ def idw_grid(
     method: str = "naive",
     k: int = 12,
     radius: float | None = None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> DensityGrid:
     """IDW surface over an ``nx x ny`` pixel grid (the raster use-case).
 
     ``method="cutoff"`` on a grid uses a vectorised scatter formulation
-    (see :func:`_idw_grid_cutoff`) rather than per-pixel range queries.
+    (see :func:`_idw_grid_cutoff`) rather than per-pixel range queries
+    (the scatter's running pixel sums stay serial; the gather backends
+    honour ``workers``/``backend`` via :func:`idw_predict`).
     """
     nx, ny = int(size[0]), int(size[1])
     if method == "cutoff":
@@ -207,6 +246,7 @@ def idw_grid(
     gx, gy = np.meshgrid(xs, ys, indexing="ij")
     queries = np.column_stack([gx.ravel(), gy.ravel()])
     pred = idw_predict(
-        points, values, queries, power=power, method=method, k=k, radius=radius
+        points, values, queries, power=power, method=method, k=k, radius=radius,
+        workers=workers, backend=backend,
     )
     return DensityGrid(bbox, pred.reshape(nx, ny))

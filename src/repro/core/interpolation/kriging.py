@@ -23,10 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..._validation import as_points, as_values
+from ..._validation import as_points, as_values, chunk_ranges
 from ...errors import DataError, ParameterError
 from ...geometry import BoundingBox
 from ...index import KDTree
+from ...parallel import parallel_map
 from ...raster import DensityGrid
 from .variogram import VariogramModel, empirical_variogram, fit_variogram
 
@@ -76,17 +77,53 @@ def _solve_ok(
     return pred, max(var, 0.0)
 
 
+#: Queries per parallel kriging task (fixed, worker-count-invariant).
+_QUERIES_PER_TASK = 256
+
+
+def _ok_global_block(task):
+    """Global-neighbourhood OK for one query block (module-level)."""
+    block, pts, z, cov_mat, model, sill = task
+    preds = np.empty(block.shape[0], dtype=np.float64)
+    vars_ = np.empty(block.shape[0], dtype=np.float64)
+    for j, row in enumerate(block):
+        dq = np.sqrt(((pts - row) ** 2).sum(axis=1))
+        preds[j], vars_[j] = _solve_ok(cov_mat, model.covariance(dq), z, sill)
+    return preds, vars_
+
+
+def _ok_local_block(task):
+    """k-nearest-neighbourhood OK for one query block (module-level)."""
+    block, pts, z, tree, model, sill, k = task
+    preds = np.empty(block.shape[0], dtype=np.float64)
+    vars_ = np.empty(block.shape[0], dtype=np.float64)
+    for j, row in enumerate(block):
+        dists, idx = tree.knn(row, k)
+        local = pts[idx]
+        d_mat = np.sqrt(((local[:, None, :] - local[None, :, :]) ** 2).sum(axis=2))
+        cov_mat = model.covariance(d_mat)
+        cov_vec = model.covariance(dists)
+        preds[j], vars_[j] = _solve_ok(cov_mat, cov_vec, z[idx], sill)
+    return preds, vars_
+
+
 def ordinary_kriging(
     points,
     values,
     queries,
     model: VariogramModel,
     k_neighbors: int | None = 16,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> KrigingResult:
     """Ordinary kriging at arbitrary query locations.
 
     ``k_neighbors=None`` uses *all* samples for every query (global
     kriging, O(n^3) once + O(n) per query) — only sensible for small n.
+    Query blocks fan out over the shared executor (``workers``/
+    ``backend``, see :mod:`repro.parallel`); each block solves its own
+    OK systems and writes its own output slice, so predictions are
+    identical to the serial evaluation at any worker count.
     """
     pts = as_points(points)
     z = as_values(values, pts.shape[0])
@@ -95,32 +132,29 @@ def ordinary_kriging(
     if n < 2:
         raise DataError("kriging needs at least two samples")
     sill = model.sill
-
-    preds = np.empty(q.shape[0], dtype=np.float64)
-    vars_ = np.empty(q.shape[0], dtype=np.float64)
+    spans = chunk_ranges(q.shape[0], _QUERIES_PER_TASK)
 
     if k_neighbors is None:
         d_mat = np.sqrt(
             ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
         )
         cov_mat = model.covariance(d_mat)
-        for i, row in enumerate(q):
-            dq = np.sqrt(((pts - row) ** 2).sum(axis=1))
-            preds[i], vars_[i] = _solve_ok(cov_mat, model.covariance(dq), z, sill)
-        return KrigingResult(preds, vars_, model)
-
-    k = int(k_neighbors)
-    if k < 2:
-        raise ParameterError(f"k_neighbors must be >= 2, got {k}")
-    k = min(k, n)
-    tree = KDTree(pts)
-    for i, row in enumerate(q):
-        dists, idx = tree.knn(row, k)
-        local = pts[idx]
-        d_mat = np.sqrt(((local[:, None, :] - local[None, :, :]) ** 2).sum(axis=2))
-        cov_mat = model.covariance(d_mat)
-        cov_vec = model.covariance(dists)
-        preds[i], vars_[i] = _solve_ok(cov_mat, cov_vec, z[idx], sill)
+        tasks = [(q[a:b], pts, z, cov_mat, model, sill) for a, b in spans]
+        blocks = parallel_map(
+            _ok_global_block, tasks, workers=workers, backend=backend
+        )
+    else:
+        k = int(k_neighbors)
+        if k < 2:
+            raise ParameterError(f"k_neighbors must be >= 2, got {k}")
+        k = min(k, n)
+        tree = KDTree(pts)
+        tasks = [(q[a:b], pts, z, tree, model, sill, k) for a, b in spans]
+        blocks = parallel_map(
+            _ok_local_block, tasks, workers=workers, backend=backend
+        )
+    preds = np.concatenate([p for p, _ in blocks])
+    vars_ = np.concatenate([v for _, v in blocks])
     return KrigingResult(preds, vars_, model)
 
 
@@ -264,12 +298,15 @@ def kriging_grid(
     variogram_model: str = "spherical",
     k_neighbors: int | None = 16,
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> tuple[DensityGrid, DensityGrid, VariogramModel]:
     """Kriging surface over a pixel grid.
 
     When ``model`` is omitted, an empirical variogram is estimated from the
     samples and fitted with ``variogram_model``.  Returns
-    ``(prediction_grid, variance_grid, fitted_model)``.
+    ``(prediction_grid, variance_grid, fitted_model)``.  Pixel-query
+    blocks run on the shared executor (``workers``/``backend``).
     """
     pts = as_points(points)
     z = as_values(values, pts.shape[0])
@@ -281,7 +318,10 @@ def kriging_grid(
     xs, ys = bbox.pixel_centers(nx, ny)
     gx, gy = np.meshgrid(xs, ys, indexing="ij")
     queries = np.column_stack([gx.ravel(), gy.ravel()])
-    result = ordinary_kriging(pts, z, queries, model, k_neighbors=k_neighbors)
+    result = ordinary_kriging(
+        pts, z, queries, model, k_neighbors=k_neighbors,
+        workers=workers, backend=backend,
+    )
     pred_grid = DensityGrid(bbox, result.predictions.reshape(nx, ny))
     var_grid = DensityGrid(bbox, result.variances.reshape(nx, ny))
     return pred_grid, var_grid, model

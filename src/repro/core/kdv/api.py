@@ -58,7 +58,8 @@ def kde_grid(
     delta: float = 0.05,
     sample: int | None = None,
     seed=None,
-    workers: int = 4,
+    workers: int | None = 4,
+    backend: str | None = None,
     index: str = "kdtree",
     tau: float = 1e-3,
 ) -> DensityGrid:
@@ -89,8 +90,9 @@ def kde_grid(
         surface integrates to one.
     eps, delta, sample, seed:
         Guarantee / sample-size parameters for ``bounds`` and ``sampling``.
-    workers:
-        Thread count for ``parallel``.
+    workers, backend:
+        Worker count and executor backend for ``parallel`` (see
+        :mod:`repro.parallel`; ``workers=None`` uses the shared default).
     index:
         Carrier index for ``bounds``: ``"kdtree"`` or ``"balltree"``.
     tau:
@@ -123,7 +125,7 @@ def kde_grid(
     elif method == "sampling":
         grid = kde_sampling(problem, eps=eps, delta=delta, sample=sample, seed=seed)
     elif method == "parallel":
-        grid = kde_parallel(problem, workers=workers)
+        grid = kde_parallel(problem, workers=workers, backend=backend)
     elif method == "adaptive":
         grid = kde_adaptive(problem)
     else:

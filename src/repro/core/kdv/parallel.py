@@ -1,10 +1,17 @@
 """Thread-parallel KDV: the paper's parallel/hardware method family.
 
 The GPU/FPGA methods the tutorial surveys [50, 67, 105, 107] are
-represented here by a CPU thread pool: the pixel grid is split into row
+represented here by CPU worker lanes: the pixel grid is split into row
 bands and each band is evaluated independently with the exact naive
 formula.  NumPy releases the GIL inside its BLAS-backed matrix products,
-so threads deliver genuine parallel speedup without pickling overhead.
+so the default ``thread`` backend delivers genuine parallel speedup
+without pickling overhead.
+
+The band decomposition rides on the shared executor
+(:mod:`repro.parallel`) — the same layer that runs the Monte-Carlo
+envelopes and permutation tests — instead of a private thread pool.
+Each band writes a disjoint output slice, so the result is exactly the
+serial evaluation for every worker count and backend.
 
 The same worker decomposition also composes with sampling (sample first,
 then parallel evaluation), mirroring the combined methods in [110].
@@ -12,11 +19,10 @@ then parallel evaluation), mirroring the combined methods in [110].
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
 from ..._validation import check_positive
+from ...parallel import parallel_starmap
 from .base import KDVProblem
 
 __all__ = ["kde_parallel"]
@@ -38,25 +44,32 @@ def _band(problem: KDVProblem, xs: np.ndarray, ys: np.ndarray, j_lo: int, j_hi: 
     return summed.reshape(len(xs), j_hi - j_lo)
 
 
-def kde_parallel(problem: KDVProblem, workers: int = 4):
-    """Exact KDV evaluated by ``workers`` threads over row bands."""
-    workers = int(check_positive(workers, "workers"))
+def kde_parallel(problem: KDVProblem, workers: int | None = 4, backend: str | None = None):
+    """Exact KDV evaluated over row bands by the shared executor.
+
+    ``workers=None`` uses the :mod:`repro.parallel` default
+    (``REPRO_WORKERS`` or 1); the historical default of 4 keeps the
+    ``method="parallel"`` backend parallel out of the box.
+    """
+    if workers is not None:
+        workers = int(check_positive(workers, "workers"))
     xs, ys = problem.pixel_centers()
     ny = problem.ny
-    bands = min(workers * 4, ny)  # oversplit for load balance
+    # Oversplit for load balance; the split depends only on the requested
+    # worker count, and bands write disjoint slices, so any executor
+    # configuration reproduces the serial result exactly.
+    lanes = workers if workers is not None else 4
+    bands = min(lanes * 4, ny)
     edges = np.linspace(0, ny, bands + 1).astype(int)
     spans = [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
 
+    results = parallel_starmap(
+        _band,
+        [(problem, xs, ys, j_lo, j_hi) for j_lo, j_hi in spans],
+        workers=workers,
+        backend=backend,
+    )
     values = np.empty((problem.nx, ny), dtype=np.float64)
-    if workers == 1:
-        for j_lo, j_hi in spans:
-            values[:, j_lo:j_hi] = _band(problem, xs, ys, j_lo, j_hi)
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_band, problem, xs, ys, j_lo, j_hi): (j_lo, j_hi)
-                for j_lo, j_hi in spans
-            }
-            for future, (j_lo, j_hi) in futures.items():
-                values[:, j_lo:j_hi] = future.result()
+    for (j_lo, j_hi), band in zip(spans, results):
+        values[:, j_lo:j_hi] = band
     return problem.make_grid(values)

@@ -24,9 +24,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..._validation import check_thresholds, resolve_rng
+from ..._validation import check_thresholds
 from ...errors import ParameterError
 from ...network import NetworkPosition, RoadNetwork, node_distances
+from ...parallel import parallel_map, spawn_rngs
 
 __all__ = [
     "network_k_function",
@@ -213,6 +214,13 @@ class NetworkKFunctionPlot:
         return out
 
 
+def _network_csr_k_task(task):
+    """One uniform-on-network simulation of the K-curve (module-level)."""
+    rng, network, n, ts, method = task
+    sim = network.sample_positions(n, rng)
+    return network_k_function(network, sim, ts, method=method).astype(np.float64)
+
+
 def network_k_function_plot(
     network: RoadNetwork,
     events,
@@ -220,32 +228,35 @@ def network_k_function_plot(
     n_simulations: int = 99,
     method: str = "auto",
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> NetworkKFunctionPlot:
     """Network K-function plot: envelope from uniform-on-network CSR.
 
     The null model places the same number of events uniformly *by length*
     on the network (the network analogue of Definition 3's random
-    datasets).
+    datasets).  Simulations fan out over the shared executor
+    (``workers``/``backend``, see :mod:`repro.parallel`) with one RNG
+    stream per simulation, so the envelope is bit-identical for every
+    worker count.
     """
     ts = check_thresholds(thresholds)
     n_simulations = int(n_simulations)
     if n_simulations < 1:
         raise ParameterError(f"n_simulations must be >= 1, got {n_simulations}")
-    rng = resolve_rng(seed)
 
     observed = network_k_function(network, events, ts, method=method)
     n = len(events)
-    lower = np.full(ts.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
-    upper = np.zeros(ts.shape[0], dtype=np.int64)
-    for _ in range(n_simulations):
-        sim = network.sample_positions(n, rng)
-        k_sim = network_k_function(network, sim, ts, method=method)
-        np.minimum(lower, k_sim, out=lower)
-        np.maximum(upper, k_sim, out=upper)
+    tasks = [
+        (rng, network, n, ts, method) for rng in spawn_rngs(seed, n_simulations)
+    ]
+    sims = np.vstack(
+        parallel_map(_network_csr_k_task, tasks, workers=workers, backend=backend)
+    )
     return NetworkKFunctionPlot(
         thresholds=ts,
         observed=observed.astype(np.float64),
-        lower=lower.astype(np.float64),
-        upper=upper.astype(np.float64),
+        lower=sims.min(axis=0),
+        upper=sims.max(axis=0),
         n_simulations=n_simulations,
     )

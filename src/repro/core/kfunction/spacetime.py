@@ -18,10 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..._validation import as_points, as_timestamps, check_thresholds, resolve_rng
+from ..._validation import as_points, as_timestamps, check_thresholds
 from ...errors import ParameterError
 from ...geometry import BoundingBox
 from ...index import GridIndex
+from ...parallel import parallel_map, spawn_rngs
 
 __all__ = [
     "st_k_function",
@@ -143,6 +144,20 @@ class STKFunctionPlot:
         return float(self.clustered_mask().mean())
 
 
+def _st_csr_k_task(task):
+    """One space-time null simulation of the ST-K surface (module-level)."""
+    rng, null, pts, ts_vals, bbox, t_lo, t_hi, s_ts, t_ts, method, n = task
+    if null == "csr":
+        sim_pts = bbox.sample_uniform(n, rng)
+        sim_times = rng.uniform(t_lo, t_hi, size=n)
+    else:
+        sim_pts = pts
+        sim_times = rng.permutation(ts_vals)
+    return st_k_function(sim_pts, sim_times, s_ts, t_ts, method=method).astype(
+        np.float64
+    )
+
+
 def st_k_function_plot(
     points,
     times,
@@ -153,6 +168,8 @@ def st_k_function_plot(
     method: str = "auto",
     null: str = "csr",
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> STKFunctionPlot:
     """Spatiotemporal K-function plot (Equations 8-10, Figure 6).
 
@@ -163,6 +180,11 @@ def st_k_function_plot(
     * ``"permute"`` — keep the observed locations, permute timestamps:
       tests *space-time interaction* specifically, the classic Knox-style
       null used in epidemiology [55].
+
+    Simulations fan out over the shared executor (``workers``/
+    ``backend``, see :mod:`repro.parallel`) with one RNG stream per
+    simulation, so the envelope surfaces are bit-identical for every
+    worker count.
     """
     pts = as_points(points)
     ts_vals = as_timestamps(times, pts.shape[0])
@@ -173,30 +195,24 @@ def st_k_function_plot(
         raise ParameterError(f"n_simulations must be >= 1, got {n_simulations}")
     if null not in ("csr", "permute"):
         raise ParameterError(f"null must be 'csr' or 'permute', got {null!r}")
-    rng = resolve_rng(seed)
 
     observed = st_k_function(pts, ts_vals, s_ts, t_ts, method=method)
     n = pts.shape[0]
     t_lo, t_hi = float(ts_vals.min()), float(ts_vals.max())
 
-    lower = np.full(observed.shape, np.iinfo(np.int64).max, dtype=np.int64)
-    upper = np.zeros(observed.shape, dtype=np.int64)
-    for _ in range(n_simulations):
-        if null == "csr":
-            sim_pts = bbox.sample_uniform(n, rng)
-            sim_times = rng.uniform(t_lo, t_hi, size=n)
-        else:
-            sim_pts = pts
-            sim_times = rng.permutation(ts_vals)
-        k_sim = st_k_function(sim_pts, sim_times, s_ts, t_ts, method=method)
-        np.minimum(lower, k_sim, out=lower)
-        np.maximum(upper, k_sim, out=upper)
+    tasks = [
+        (rng, null, pts, ts_vals, bbox, t_lo, t_hi, s_ts, t_ts, method, n)
+        for rng in spawn_rngs(seed, n_simulations)
+    ]
+    sims = np.stack(
+        parallel_map(_st_csr_k_task, tasks, workers=workers, backend=backend)
+    )
 
     return STKFunctionPlot(
         s_thresholds=s_ts,
         t_thresholds=t_ts,
         observed=observed.astype(np.float64),
-        lower=lower.astype(np.float64),
-        upper=upper.astype(np.float64),
+        lower=sims.min(axis=0),
+        upper=sims.max(axis=0),
         n_simulations=n_simulations,
     )

@@ -25,6 +25,7 @@ import numpy as np
 
 from .._validation import check_positive
 from ..errors import ParameterError
+from ..parallel import parallel_map
 from ..network import (
     Lixelization,
     NetworkPosition,
@@ -214,6 +215,97 @@ def _scatter_event_split(
         densities[near] += weight * f_lix[near] * kernel.evaluate(d_lix[near], bandwidth)
 
 
+#: Events (``naive``) per parallel task.  Fixed constants — never derived
+#: from the worker count — so the partial-sum partition, and therefore the
+#: bit pattern of the summed densities, is identical for every worker
+#: count and backend.
+_EVENTS_PER_TASK = 64
+#: Edges (``shared``) per parallel task.
+_EDGES_PER_TASK = 8
+
+
+def _nkdv_block_task(task):
+    """Kernel mass of one block of events/edges, in a fresh density array.
+
+    Module-level so the ``process`` backend can pickle it.  Blocks are
+    cut by the fixed ``_EVENTS_PER_TASK``/``_EDGES_PER_TASK`` constants
+    and the caller sums the returned partials in block order, which
+    reproduces the serial accumulation order bit-for-bit.
+    """
+    (method, split, network, lixels, kern, bandwidth, cutoff,
+     block, edges, offsets, w_of, lix_u, lix_v, lix_len) = task
+    densities = np.zeros(lixels.n_lixels, dtype=np.float64)
+
+    if split == "equal":
+        if method == "naive":
+            for i in block:
+                u, v = network.edge_nodes[edges[i]]
+                length = float(network.edge_lengths[edges[i]])
+                d_node, f_node = node_distances_with_split(
+                    network,
+                    [
+                        (int(u), float(offsets[i])),
+                        (int(v), length - float(offsets[i])),
+                    ],
+                    cutoff=cutoff,
+                )
+                _scatter_event_split(
+                    densities, kern, bandwidth, cutoff, network,
+                    int(edges[i]), float(offsets[i]),
+                    lixels, lix_u, lix_v, lix_len, d_node, f_node,
+                    weight=float(w_of[i]),
+                )
+        else:
+            for edge in block:
+                u, v = network.edge_nodes[edge]
+                length = float(network.edge_lengths[edge])
+                du, fu = node_distances_with_split(network, int(u), cutoff=cutoff)
+                dv, fv = node_distances_with_split(network, int(v), cutoff=cutoff)
+                for i in np.flatnonzero(edges == edge):
+                    o = float(offsets[i])
+                    via_u = o + du
+                    via_v = (length - o) + dv
+                    pick_u = via_u <= via_v
+                    d_node = np.where(pick_u, via_u, via_v)
+                    f_node = np.where(pick_u, fu, fv)
+                    _scatter_event_split(
+                        densities, kern, bandwidth, cutoff, network,
+                        int(edge), o,
+                        lixels, lix_u, lix_v, lix_len, d_node, f_node,
+                        weight=float(w_of[i]),
+                    )
+    elif method == "naive":
+        for i in block:
+            u, v = network.edge_nodes[edges[i]]
+            length = float(network.edge_lengths[edges[i]])
+            dist = node_distances(
+                network,
+                [(int(u), float(offsets[i])), (int(v), length - float(offsets[i]))],
+                cutoff=cutoff,
+            )
+            _scatter_event(
+                densities, kern, bandwidth, cutoff,
+                0.0, 0.0, int(edges[i]), float(offsets[i]),
+                lixels, lix_u, lix_v, lix_len, dist, dist,
+                weight=float(w_of[i]),
+            )
+    else:
+        for edge in block:
+            u, v = network.edge_nodes[edge]
+            length = float(network.edge_lengths[edge])
+            du = node_distances(network, int(u), cutoff=cutoff)
+            dv = node_distances(network, int(v), cutoff=cutoff)
+            for i in np.flatnonzero(edges == edge):
+                _scatter_event(
+                    densities, kern, bandwidth, cutoff,
+                    float(offsets[i]), length - float(offsets[i]),
+                    int(edge), float(offsets[i]),
+                    lixels, lix_u, lix_v, lix_len, du, dv,
+                    weight=float(w_of[i]),
+                )
+    return densities
+
+
 def nkdv(
     network: RoadNetwork,
     events,
@@ -224,6 +316,8 @@ def nkdv(
     split: str = "none",
     lixels: Lixelization | None = None,
     event_weights=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> NKDVResult:
     """Network KDV: kernel density on lixel midpoints under ``dist_G``.
 
@@ -252,6 +346,11 @@ def nkdv(
     event_weights:
         Optional per-event non-negative weights (the network analogue of
         Equation 7's reweighting; also what network STKDV feeds in).
+    workers, backend:
+        Per-event (``naive``) / per-edge (``shared``) Dijkstra+scatter
+        blocks fan out over the shared executor (:mod:`repro.parallel`).
+        The block partition and the partial-sum order are fixed, so the
+        densities are bit-identical for every worker count.
     """
     if len(events) == 0:
         raise ParameterError("events must not be empty")
@@ -281,7 +380,6 @@ def nkdv(
             raise ParameterError("event_weights must be finite and non-negative")
 
     lix_u, lix_v, lix_len = _lixel_target_arrays(network, lixels)
-    densities = np.zeros(lixels.n_lixels, dtype=np.float64)
 
     if method == "auto":
         method = "shared"
@@ -294,75 +392,24 @@ def nkdv(
             f"unknown NKDV split {split!r}; available: {', '.join(NKDV_SPLITS)}"
         )
 
-    if split == "equal":
-        # Split factors depend on the traversal direction, so each event
-        # (or each edge, for `shared`) runs the factor-propagating Dijkstra.
-        if method == "naive":
-            for i in range(edges.shape[0]):
-                u, v = network.edge_nodes[edges[i]]
-                length = float(network.edge_lengths[edges[i]])
-                d_node, f_node = node_distances_with_split(
-                    network,
-                    [
-                        (int(u), float(offsets[i])),
-                        (int(v), length - float(offsets[i])),
-                    ],
-                    cutoff=cutoff,
-                )
-                _scatter_event_split(
-                    densities, kern, bandwidth, cutoff, network,
-                    int(edges[i]), float(offsets[i]),
-                    lixels, lix_u, lix_v, lix_len, d_node, f_node,
-                    weight=float(w_of[i]),
-                )
-        else:
-            for edge in np.unique(edges):
-                u, v = network.edge_nodes[edge]
-                length = float(network.edge_lengths[edge])
-                du, fu = node_distances_with_split(network, int(u), cutoff=cutoff)
-                dv, fv = node_distances_with_split(network, int(v), cutoff=cutoff)
-                for i in np.flatnonzero(edges == edge):
-                    o = float(offsets[i])
-                    via_u = o + du
-                    via_v = (length - o) + dv
-                    pick_u = via_u <= via_v
-                    d_node = np.where(pick_u, via_u, via_v)
-                    f_node = np.where(pick_u, fu, fv)
-                    _scatter_event_split(
-                        densities, kern, bandwidth, cutoff, network,
-                        int(edge), o,
-                        lixels, lix_u, lix_v, lix_len, d_node, f_node,
-                        weight=float(w_of[i]),
-                    )
-    elif method == "naive":
-        for i in range(edges.shape[0]):
-            u, v = network.edge_nodes[edges[i]]
-            length = float(network.edge_lengths[edges[i]])
-            dist = node_distances(
-                network,
-                [(int(u), float(offsets[i])), (int(v), length - float(offsets[i]))],
-                cutoff=cutoff,
-            )
-            _scatter_event(
-                densities, kern, bandwidth, cutoff,
-                0.0, 0.0, int(edges[i]), float(offsets[i]),
-                lixels, lix_u, lix_v, lix_len, dist, dist,
-                weight=float(w_of[i]),
-            )
+    if method == "naive":
+        units = list(range(edges.shape[0]))
+        per_task = _EVENTS_PER_TASK
     else:
-        for edge in np.unique(edges):
-            u, v = network.edge_nodes[edge]
-            length = float(network.edge_lengths[edge])
-            du = node_distances(network, int(u), cutoff=cutoff)
-            dv = node_distances(network, int(v), cutoff=cutoff)
-            for i in np.flatnonzero(edges == edge):
-                _scatter_event(
-                    densities, kern, bandwidth, cutoff,
-                    float(offsets[i]), length - float(offsets[i]),
-                    int(edge), float(offsets[i]),
-                    lixels, lix_u, lix_v, lix_len, du, dv,
-                    weight=float(w_of[i]),
-                )
+        units = [int(e) for e in np.unique(edges)]
+        per_task = _EDGES_PER_TASK
+    blocks = [units[i:i + per_task] for i in range(0, len(units), per_task)]
+    tasks = [
+        (method, split, network, lixels, kern, bandwidth, cutoff,
+         block, edges, offsets, w_of, lix_u, lix_v, lix_len)
+        for block in blocks
+    ]
+    partials = parallel_map(
+        _nkdv_block_task, tasks, workers=workers, backend=backend
+    )
+    densities = np.zeros(lixels.n_lixels, dtype=np.float64)
+    for partial in partials:  # fixed order: worker-count-invariant sums
+        densities += partial
 
     return NKDVResult(
         lixels=lixels,

@@ -96,8 +96,15 @@ class HotspotAnalysis:
         quantile: float = 0.95,
         min_pixels: int = 2,
         seed=None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> HotspotReport:
-        """Execute the four-step workflow and return the report."""
+        """Execute the four-step workflow and return the report.
+
+        ``workers``/``backend`` parallelise the CSR envelope simulations
+        on the shared executor (:mod:`repro.parallel`); the report is
+        bit-identical for every worker count.
+        """
         check_in_range(quantile, "quantile", 0.0, 0.999999)
         rng = resolve_rng(seed)
         if thresholds is None:
@@ -109,6 +116,8 @@ class HotspotAnalysis:
             thresholds,
             n_simulations=n_simulations,
             seed=rng,
+            workers=workers,
+            backend=backend,
         )
         clustered = k_plot.clustered_thresholds()
         if clustered.size:

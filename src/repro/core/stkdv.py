@@ -30,6 +30,7 @@ import numpy as np
 from .._validation import as_points, as_timestamps, check_positive
 from ..errors import ParameterError
 from ..geometry import BoundingBox
+from ..parallel import parallel_map
 from ..raster import DensityGrid
 from .kdv.base import KDVProblem
 from .kdv.gridcut import kde_gridcut
@@ -83,6 +84,34 @@ def _temporal_cutoff(kernel: Kernel, bandwidth: float) -> float:
     return float(kernel.effective_radius(bandwidth))
 
 
+def _naive_frame_task(task):
+    """One naive STKDV frame (module-level for process-backend pickling)."""
+    t, pts, ts_vals, bbox, size, b_s, b_t, k_s, k_t = task
+    w = k_t.evaluate(np.abs(ts_vals - t), b_t)
+    problem = KDVProblem(pts, bbox, size, b_s, k_s, weights=w)
+    return kde_naive(problem).values
+
+
+def _window_frame_task(task):
+    """One sliding-window STKDV frame over its temporal support."""
+    (t, sorted_pts, sorted_ts, bbox, size, b_s, b_t, k_s, k_t, cutoff,
+     spatial_method) = task
+    nx, ny = size
+    lo = np.searchsorted(sorted_ts, t - cutoff, side="left")
+    hi = np.searchsorted(sorted_ts, t + cutoff, side="right")
+    if lo >= hi:
+        return np.zeros((nx, ny), dtype=np.float64)
+    w = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
+    active = w > 0.0
+    if not active.any():
+        return np.zeros((nx, ny), dtype=np.float64)
+    problem = KDVProblem(
+        sorted_pts[lo:hi][active], bbox, size, b_s, k_s, weights=w[active]
+    )
+    spatial_pass = kde_sweep if spatial_method == "sweep" else kde_gridcut
+    return spatial_pass(problem).values
+
+
 def stkdv(
     points,
     times,
@@ -95,6 +124,8 @@ def stkdv(
     kernel_time: str | Kernel = "epanechnikov",
     method: str = "auto",
     spatial_method: str = "auto",
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> STKDVResult:
     """Spatiotemporal KDV over the given frame timestamps.
 
@@ -118,6 +149,10 @@ def stkdv(
         scatter), ``"sweep"`` (sweep line — polynomial spatial kernels
         only), or ``"auto"`` (sweep when the kernel supports it and the
         bandwidth spans at least two pixels; grid otherwise).
+    workers, backend:
+        Frame evaluation fans out over the shared executor
+        (:mod:`repro.parallel`); each frame writes its own slice of the
+        stack, so the result is identical at every worker count.
     """
     pts = as_points(points)
     ts_vals = as_timestamps(times, pts.shape[0])
@@ -146,37 +181,27 @@ def stkdv(
         raise ParameterError(
             f"spatial_method must be 'grid' or 'sweep', got {spatial_method!r}"
         )
-    spatial_pass = kde_sweep if spatial_method == "sweep" else kde_gridcut
-
-    values = np.zeros((nx, ny, frames.size), dtype=np.float64)
-
     if method == "naive":
-        for j, t in enumerate(frames):
-            w = k_t.evaluate(np.abs(ts_vals - t), b_t)
-            problem = KDVProblem(pts, bbox, (nx, ny), b_s, k_s, weights=w)
-            values[:, :, j] = kde_naive(problem).values
+        tasks = [
+            (float(t), pts, ts_vals, bbox, (nx, ny), b_s, b_t, k_s, k_t)
+            for t in frames
+        ]
+        frame_values = parallel_map(
+            _naive_frame_task, tasks, workers=workers, backend=backend
+        )
     else:
         cutoff = _temporal_cutoff(k_t, b_t)
         order = np.argsort(ts_vals, kind="stable")
         sorted_pts = pts[order]
         sorted_ts = ts_vals[order]
-        for j, t in enumerate(frames):
-            lo = np.searchsorted(sorted_ts, t - cutoff, side="left")
-            hi = np.searchsorted(sorted_ts, t + cutoff, side="right")
-            if lo >= hi:
-                continue  # no events inside the temporal support
-            w = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
-            active = w > 0.0
-            if not active.any():
-                continue
-            problem = KDVProblem(
-                sorted_pts[lo:hi][active],
-                bbox,
-                (nx, ny),
-                b_s,
-                k_s,
-                weights=w[active],
-            )
-            values[:, :, j] = spatial_pass(problem).values
+        tasks = [
+            (float(t), sorted_pts, sorted_ts, bbox, (nx, ny), b_s, b_t, k_s,
+             k_t, cutoff, spatial_method)
+            for t in frames
+        ]
+        frame_values = parallel_map(
+            _window_frame_task, tasks, workers=workers, backend=backend
+        )
 
+    values = np.stack(frame_values, axis=2)
     return STKDVResult(bbox=bbox, times=frames, values=values)

@@ -1,0 +1,278 @@
+"""Shared parallel execution layer (paper §2.2/§2.3 "parallel and hardware").
+
+The tutorial's parallel/hardware method family accelerates *every*
+analytic tool, not just KDV — so the library routes all of its
+embarrassingly-parallel hot paths (Monte-Carlo envelopes, permutation
+tests, per-event network scans, grid interpolation) through this one
+module instead of giving each algorithm a private thread pool.
+
+Three interchangeable backends:
+
+* ``serial`` — a plain loop in the calling thread (the reference
+  semantics; also what any backend degrades to at ``workers=1``);
+* ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; NumPy
+  releases the GIL inside its vectorised kernels, so threads give real
+  speedup on array-heavy tasks with zero pickling overhead;
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; true
+  multi-core for pure-Python tasks, at the price of pickling the task
+  payloads (functions must be module-level).
+
+Defaults are module-level and configurable either through the API
+(:func:`set_default_workers` / :func:`set_default_backend`) or the
+``REPRO_WORKERS`` / ``REPRO_BACKEND`` environment variables, so a
+deployment can turn parallelism on without touching call sites.
+
+**Determinism contract.**  Monte-Carlo callers fan out their RNG with
+:func:`spawn_rngs`, which derives one independent
+``numpy.random.SeedSequence`` child *per simulation* (never per worker).
+Because every map/submit helper returns results in submission order,
+any reduction computed from them is **bit-identical for every worker
+count and backend, including ``workers=1``** — parallelism changes
+wall-time only, never output.  Callers that reduce by floating-point
+summation must additionally keep their chunking worker-invariant (pass a
+fixed ``chunksize``); see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import ParameterError
+
+__all__ = [
+    "BACKENDS",
+    "get_default_backend",
+    "get_default_workers",
+    "parallel_map",
+    "parallel_starmap",
+    "parallel_submit",
+    "resolve_backend",
+    "resolve_workers",
+    "set_default_backend",
+    "set_default_workers",
+    "spawn_rngs",
+    "spawn_seeds",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+_ENV_WORKERS = "REPRO_WORKERS"
+_ENV_BACKEND = "REPRO_BACKEND"
+
+_default_workers: int | None = None
+_default_backend: str | None = None
+
+
+def _coerce_workers(value, source: str) -> int:
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"{source} must be an integer >= 1, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise ParameterError(f"{source} must be >= 1, got {workers}")
+    return workers
+
+
+def _coerce_backend(value, source: str) -> str:
+    backend = str(value).strip().lower()
+    if backend not in BACKENDS:
+        raise ParameterError(
+            f"{source} must be one of {', '.join(BACKENDS)}; got {value!r}"
+        )
+    return backend
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the module-wide default worker count.
+
+    ``None`` resets to the environment (``REPRO_WORKERS``) / built-in
+    default of 1.
+    """
+    global _default_workers
+    _default_workers = None if workers is None else _coerce_workers(workers, "workers")
+
+
+def get_default_workers() -> int:
+    """Default worker count: API override, else ``REPRO_WORKERS``, else 1."""
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(_ENV_WORKERS)
+    if env is not None and env.strip():
+        return _coerce_workers(env.strip(), f"{_ENV_WORKERS} environment variable")
+    return 1
+
+
+def set_default_backend(backend: str | None) -> None:
+    """Set the module-wide default backend.
+
+    ``None`` resets to the environment (``REPRO_BACKEND``) / built-in
+    default of ``"thread"``.
+    """
+    global _default_backend
+    _default_backend = None if backend is None else _coerce_backend(backend, "backend")
+
+
+def get_default_backend() -> str:
+    """Default backend: API override, else ``REPRO_BACKEND``, else thread."""
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get(_ENV_BACKEND)
+    if env is not None and env.strip():
+        return _coerce_backend(env.strip(), f"{_ENV_BACKEND} environment variable")
+    return "thread"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Turn a ``workers=`` argument into a concrete count (None → default)."""
+    if workers is None:
+        return get_default_workers()
+    return _coerce_workers(workers, "workers")
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Turn a ``backend=`` argument into a concrete backend (None → default)."""
+    if backend is None:
+        return get_default_backend()
+    return _coerce_backend(backend, "backend")
+
+
+def spawn_seeds(seed, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child :class:`~numpy.random.SeedSequence` streams.
+
+    ``seed`` follows the library-wide convention: ``None`` (fresh OS
+    entropy), an ``int``, an existing ``SeedSequence``, or a
+    ``numpy.random.Generator`` (children are spawned from its internal
+    seed sequence, advancing its spawn counter exactly like
+    ``Generator.spawn``).  For a fixed seed the returned streams depend
+    only on ``n`` — never on worker count or backend — which is what
+    makes the Monte-Carlo fan-out deterministic.
+    """
+    n = int(n)
+    if n < 0:
+        raise ParameterError(f"cannot spawn {n} seed sequences")
+    if isinstance(seed, np.random.Generator):
+        return [rng.bit_generator.seed_seq for rng in seed.spawn(n)]
+    if isinstance(seed, np.random.SeedSequence):
+        return seed.spawn(n)
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """``n`` independent ``numpy.random.Generator`` streams (see spawn_seeds).
+
+    Stream ``k`` is always assigned to simulation ``k`` by the callers,
+    so every simulation consumes the same random numbers no matter how
+    simulations are distributed over workers.
+    """
+    return [np.random.default_rng(child) for child in spawn_seeds(seed, n)]
+
+
+def _run_chunk(fn: Callable, chunk: Sequence) -> list:
+    """Apply ``fn`` to every item of one chunk (module-level for pickling)."""
+    return [fn(item) for item in chunk]
+
+
+def _apply_star(fn: Callable, args: Sequence) -> object:
+    """Tuple-unpacking call used by :func:`parallel_starmap`."""
+    return fn(*args)
+
+
+def _call_thunk(fn: Callable) -> object:
+    """Invoke a zero-argument callable (used by :func:`parallel_submit`)."""
+    return fn()
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    workers: int | None = None,
+    backend: str | None = None,
+    chunksize: int = 1,
+) -> list:
+    """Ordered map over ``items``: ``[fn(x) for x in items]``, in parallel.
+
+    Results are returned in item order regardless of completion order,
+    so reductions over the returned list are worker-invariant.
+
+    Parameters
+    ----------
+    fn:
+        The task function.  Must be module-level (picklable) for the
+        ``process`` backend.
+    items:
+        The task inputs.
+    workers:
+        Worker count; ``None`` uses the module default
+        (:func:`get_default_workers`, i.e. ``REPRO_WORKERS`` or 1).
+    backend:
+        ``serial``, ``thread`` or ``process``; ``None`` uses the module
+        default (:func:`get_default_backend`).
+    chunksize:
+        Items per task submission.  Larger chunks amortise dispatch
+        overhead for fine-grained work.  The chunk partition depends
+        only on ``chunksize`` (never on ``workers``), so fixing it keeps
+        even floating-point-sum reductions over chunk partials
+        bit-identical across worker counts.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    backend = resolve_backend(backend)
+    chunksize = int(chunksize)
+    if chunksize < 1:
+        raise ParameterError(f"chunksize must be >= 1, got {chunksize}")
+
+    if backend == "serial" or workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    chunks = [items[i:i + chunksize] for i in range(0, len(items), chunksize)]
+    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    out: list = []
+    with pool_cls(max_workers=min(workers, len(chunks))) as pool:
+        # Executor.map preserves submission order, which is the
+        # determinism guarantee the Monte-Carlo callers rely on.
+        for chunk_result in pool.map(_run_chunk, [fn] * len(chunks), chunks):
+            out.extend(chunk_result)
+    return out
+
+
+def parallel_starmap(
+    fn: Callable,
+    argtuples: Iterable[Sequence],
+    workers: int | None = None,
+    backend: str | None = None,
+    chunksize: int = 1,
+) -> list:
+    """Ordered starmap: ``[fn(*args) for args in argtuples]``, in parallel.
+
+    Same ordering/determinism contract as :func:`parallel_map`.
+    """
+    from functools import partial
+
+    return parallel_map(
+        partial(_apply_star, fn),
+        argtuples,
+        workers=workers,
+        backend=backend,
+        chunksize=chunksize,
+    )
+
+
+def parallel_submit(
+    thunks: Iterable[Callable],
+    workers: int | None = None,
+    backend: str | None = None,
+) -> list:
+    """Run zero-argument callables concurrently; results in submission order.
+
+    The closure-friendly helper for coarse heterogeneous tasks (e.g. the
+    row bands of the parallel KDV backend).  Closures are not picklable,
+    so with the ``process`` backend the thunks must be module-level
+    callables.
+    """
+    return parallel_map(_call_thunk, list(thunks), workers=workers, backend=backend)

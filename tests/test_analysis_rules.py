@@ -293,6 +293,43 @@ class TestRPR008DunderAll:
         assert "RPR008" not in ids_of(analyze_source(src))
 
 
+class TestRPR009SharedExecutor:
+    def test_flags_direct_futures_import(self):
+        src = "from concurrent.futures import ThreadPoolExecutor\n"
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR009"]
+        assert len(found) == 1
+        assert "repro.parallel" in found[0].message
+
+    def test_flags_multiprocessing_import(self):
+        src = "import multiprocessing\n"
+        assert "RPR009" in ids_of(analyze_source(src))
+
+    def test_flags_dotted_import(self):
+        src = "import concurrent.futures\n"
+        assert "RPR009" in ids_of(analyze_source(src))
+
+    def test_flags_threading_import(self):
+        src = "import threading\n"
+        assert "RPR009" in ids_of(analyze_source(src))
+
+    def test_executor_module_is_exempt(self):
+        src = "from concurrent.futures import ThreadPoolExecutor\n"
+        found = analyze_source(src, path="src/repro/parallel.py")
+        assert "RPR009" not in ids_of(found)
+
+    def test_shared_layer_import_is_clean(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "__all__ = []\n"
+        )
+        assert "RPR009" not in ids_of(analyze_source(src))
+
+    def test_relative_import_is_clean(self):
+        # Relative imports (level > 0) never reach the pool modules.
+        src = "from ..parallel import parallel_map\n"
+        assert "RPR009" not in ids_of(analyze_source(src))
+
+
 class TestParseErrors:
     def test_syntax_error_becomes_rpr000(self):
         found = analyze_source("def broken(:\n")

@@ -1,0 +1,187 @@
+"""Unit tests for the shared execution layer (repro.parallel).
+
+Covers the executor contract the Monte-Carlo callers rely on: ordered
+results, worker-invariant chunking, backend/worker defaults (API and
+environment), and the SeedSequence fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel import (
+    BACKENDS,
+    get_default_backend,
+    get_default_workers,
+    parallel_map,
+    parallel_starmap,
+    parallel_submit,
+    resolve_backend,
+    resolve_workers,
+    set_default_backend,
+    set_default_workers,
+    spawn_rngs,
+    spawn_seeds,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+@pytest.fixture(autouse=True)
+def _reset_defaults():
+    """Keep module-level defaults pristine across tests."""
+    yield
+    set_default_workers(None)
+    set_default_backend(None)
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_list_comprehension(self, backend, workers):
+        items = list(range(23))
+        got = parallel_map(_square, items, workers=workers, backend=backend)
+        assert got == [x * x for x in items]
+
+    def test_process_backend(self):
+        items = list(range(8))
+        got = parallel_map(_square, items, workers=2, backend="process")
+        assert got == [x * x for x in items]
+
+    @pytest.mark.parametrize("chunksize", [1, 3, 7, 100])
+    def test_chunksize_never_changes_results(self, chunksize):
+        items = list(range(17))
+        got = parallel_map(
+            _square, items, workers=3, backend="thread", chunksize=chunksize
+        )
+        assert got == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4, backend="thread") == []
+
+    def test_single_item(self):
+        assert parallel_map(_square, [5], workers=4, backend="thread") == [25]
+
+    def test_order_preserved_under_uneven_work(self):
+        # Later items finish first if completion order leaked through.
+        import time
+
+        def task(x):
+            time.sleep(0.002 * (8 - x))
+            return x
+
+        got = parallel_map(task, list(range(8)), workers=4, backend="thread")
+        assert got == list(range(8))
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ParameterError):
+            parallel_map(_square, [1, 2], chunksize=0)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            parallel_map(_square, [1, 2], backend="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ParameterError):
+            parallel_map(_square, [1, 2], workers=0)
+
+
+class TestStarmapAndSubmit:
+    def test_starmap(self):
+        pairs = [(i, 10 * i) for i in range(9)]
+        got = parallel_starmap(_add, pairs, workers=3, backend="thread")
+        assert got == [a + b for a, b in pairs]
+
+    def test_submit_preserves_order(self):
+        thunks = [lambda i=i: i * 3 for i in range(7)]
+        got = parallel_submit(thunks, workers=3, backend="thread")
+        assert got == [i * 3 for i in range(7)]
+
+
+class TestDefaults:
+    def test_builtin_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert get_default_workers() == 1
+        assert get_default_backend() == "thread"
+
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert get_default_workers() == 3
+        assert resolve_workers(None) == 3
+        assert resolve_workers(5) == 5
+
+    def test_env_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert get_default_backend() == "serial"
+        assert resolve_backend(None) == "serial"
+        assert resolve_backend("thread") == "thread"
+
+    def test_api_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        set_default_workers(2)
+        assert get_default_workers() == 2
+        set_default_workers(None)
+        assert get_default_workers() == 3
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ParameterError):
+            get_default_workers()
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        with pytest.raises(ParameterError):
+            get_default_backend()
+
+    def test_backends_tuple(self):
+        assert BACKENDS == ("serial", "thread", "process")
+        for backend in BACKENDS:
+            assert resolve_backend(backend) == backend
+
+
+class TestSeedFanout:
+    def test_streams_depend_only_on_seed_and_index(self):
+        a = [rng.random(4) for rng in spawn_rngs(42, 5)]
+        b = [rng.random(4) for rng in spawn_rngs(42, 5)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_prefix_stability(self):
+        # Stream k is the same whether 3 or 7 streams are spawned.
+        short = [rng.random(4) for rng in spawn_rngs(7, 3)]
+        long = [rng.random(4) for rng in spawn_rngs(7, 7)]
+        for x, y in zip(short, long):
+            np.testing.assert_array_equal(x, y)
+
+    def test_streams_are_independent(self):
+        r0, r1 = spawn_rngs(0, 2)
+        assert not np.array_equal(r0.random(8), r1.random(8))
+
+    def test_seedsequence_input(self):
+        ss = np.random.SeedSequence(11)
+        seeds = spawn_seeds(ss, 3)
+        again = spawn_seeds(np.random.SeedSequence(11), 3)
+        for a, b in zip(seeds, again):
+            np.testing.assert_array_equal(
+                np.random.default_rng(a).random(4),
+                np.random.default_rng(b).random(4),
+            )
+
+    def test_generator_input_advances_spawn_counter(self):
+        rng = np.random.default_rng(5)
+        first = spawn_seeds(rng, 2)
+        second = spawn_seeds(rng, 2)
+        # Subsequent spawns from the same generator give fresh streams.
+        assert not np.array_equal(
+            np.random.default_rng(first[0]).random(4),
+            np.random.default_rng(second[0]).random(4),
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            spawn_seeds(0, -1)
