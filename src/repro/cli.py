@@ -37,11 +37,30 @@ __all__ = ["main", "build_parser"]
 def _parse_size(text: str) -> tuple[int, int]:
     try:
         w, h = text.lower().split("x")
-        return int(w), int(h)
+        size = int(w), int(h)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"size must look like 256x192, got {text!r}"
         ) from exc
+    if size[0] < 1 or size[1] < 1:
+        raise argparse.ArgumentTypeError(
+            f"size dimensions must be positive, got {text!r}"
+        )
+    return size
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,14 +125,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     st = sub.add_parser("stkdv", help="spatiotemporal KDV frames (needs x,y,t)")
     st.add_argument("input")
-    st.add_argument("--frames", type=int, default=6)
+    st.add_argument("--frames", type=_positive_int, default=6)
     st.add_argument("--bandwidth-space", type=float, required=True)
     st.add_argument("--bandwidth-time", type=float, required=True)
+    st.add_argument(
+        "--method", default="auto", choices=["auto", "naive", "window", "shared"],
+        help="STKDV backend: shared = incremental temporal sharing "
+             "(polynomial temporal kernels; falls back to window)",
+    )
     st.add_argument("--size", type=_parse_size, default=(128, 96))
     st.add_argument("--out-prefix", default="stkdv_frame")
     st.add_argument(
         "--workers", type=int, default=None,
-        help="worker count for per-frame evaluation (default: REPRO_WORKERS)",
+        help="worker count for per-frame evaluation (default: REPRO_WORKERS); "
+             "ignored by the serial shared backend",
     )
 
     return parser
@@ -143,8 +168,7 @@ def _cmd_kdv(args) -> int:
         method = "parallel"
     grid = kde_grid(
         ds.points, ds.bbox, args.size, args.bandwidth,
-        kernel=args.kernel, method=method,
-        workers=args.workers if args.workers is not None else 4,
+        kernel=args.kernel, method=method, workers=args.workers,
     )
     print(
         f"KDV over {ds.points.shape[0]} events, grid {args.size[0]}x{args.size[1]}, "
@@ -237,7 +261,7 @@ def _cmd_stkdv(args) -> int:
     result = stkdv(
         ds.points, ds.times, ds.bbox, args.size, frames,
         args.bandwidth_space, args.bandwidth_time,
-        workers=args.workers,
+        method=args.method, workers=args.workers,
     )
     track = result.hotspot_track()
     for j, (t, (x, y)) in enumerate(zip(frames, track)):

@@ -12,11 +12,12 @@ from .gridcut import kde_gridcut
 from .naive import kde_naive
 from .parallel import kde_parallel
 from .sampling import kde_sampling, sample_size
-from .streaming import KDVAccumulator
+from .streaming import KDVAccumulator, MultiSurfaceAccumulator
 from .sweep import kde_sweep
 
 __all__ = [
     "KDVAccumulator",
+    "MultiSurfaceAccumulator",
     "KDVProblem",
     "adaptive_bandwidths",
     "kde_adaptive",

@@ -58,7 +58,7 @@ def kde_grid(
     delta: float = 0.05,
     sample: int | None = None,
     seed=None,
-    workers: int | None = 4,
+    workers: int | None = None,
     backend: str | None = None,
     index: str = "kdtree",
     tau: float = 1e-3,
@@ -92,7 +92,9 @@ def kde_grid(
         Guarantee / sample-size parameters for ``bounds`` and ``sampling``.
     workers, backend:
         Worker count and executor backend for ``parallel`` (see
-        :mod:`repro.parallel`; ``workers=None`` uses the shared default).
+        :mod:`repro.parallel`; ``workers=None`` uses the shared default,
+        i.e. ``REPRO_WORKERS`` / :func:`repro.parallel.set_default_workers`,
+        falling back to 1).
     index:
         Carrier index for ``bounds``: ``"kdtree"`` or ``"balltree"``.
     tau:

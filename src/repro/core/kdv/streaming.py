@@ -15,6 +15,12 @@ Typical sliding-window use::
     acc.add(new_events)
     acc.remove(expired_events)   # must be points previously added
     grid = acc.grid()
+
+:class:`MultiSurfaceAccumulator` is the weighted generalisation that the
+temporal-sharing STKDV backend builds on: it maintains ``S`` surfaces at
+once, scattering each point's kernel patch onto surface ``s`` scaled by a
+per-point, per-surface weight.  ``KDVAccumulator`` is its ``S = 1``,
+weight ``±1`` specialisation.
 """
 
 from __future__ import annotations
@@ -22,17 +28,25 @@ from __future__ import annotations
 import numpy as np
 
 from ..._validation import as_points, check_positive
-from ...errors import ParameterError
+from ...errors import DataError, ParameterError
 from ...geometry import BoundingBox
 from ...raster import DensityGrid
 from ..kernels import Kernel, get_kernel
 from .base import effective_radius
 
-__all__ = ["KDVAccumulator"]
+__all__ = ["KDVAccumulator", "MultiSurfaceAccumulator"]
 
 
-class KDVAccumulator:
-    """Exact incremental KDV over a fixed window/lattice/kernel/bandwidth."""
+class MultiSurfaceAccumulator:
+    """Weighted cutoff-scatter accumulation onto ``S`` parallel surfaces.
+
+    Maintains ``S`` grids ``V_s(q) = sum_i w[i, s] * patch_i(q)`` over a
+    fixed window/lattice/kernel/bandwidth, where ``patch_i`` is the exact
+    spatial kernel patch of point ``i``.  Signed weights make removal the
+    same operation as insertion (scatter with negated weights), which is
+    what the STKDV temporal-sharing backend uses to slide its moment
+    grids along the time axis.
+    """
 
     def __init__(
         self,
@@ -40,6 +54,7 @@ class KDVAccumulator:
         size: tuple[int, int],
         bandwidth: float,
         kernel: str | Kernel = "quartic",
+        n_surfaces: int = 1,
         tail: float = 1e-12,
     ):
         if not isinstance(bbox, BoundingBox):
@@ -50,20 +65,72 @@ class KDVAccumulator:
             raise ParameterError(f"grid size must be positive, got {nx}x{ny}")
         self.nx = nx
         self.ny = ny
+        n_surfaces = int(n_surfaces)
+        if n_surfaces < 1:
+            raise ParameterError(
+                f"n_surfaces must be >= 1, got {n_surfaces}"
+            )
+        self.n_surfaces = n_surfaces
         self.bandwidth = check_positive(bandwidth, "bandwidth")
         self.kernel = get_kernel(kernel)
         self._radius = effective_radius(self.kernel, self.bandwidth, tail)
         self._xs, self._ys = bbox.pixel_centers(nx, ny)
         self._dx, self._dy = bbox.pixel_size(nx, ny)
-        self._values = np.zeros((nx, ny), dtype=np.float64)
+        self._values = np.zeros((n_surfaces, nx, ny), dtype=np.float64)
         self._count = 0
 
     @property
     def n_points(self) -> int:
-        """Number of points currently contributing to the grid."""
+        """Number of points currently contributing to the surfaces."""
         return self._count
 
-    def _scatter(self, points: np.ndarray, sign: float) -> None:
+    def scatter(self, points, weights) -> "MultiSurfaceAccumulator":
+        """Scatter each point's patch onto every surface, scaled by weights.
+
+        ``weights`` is an ``(n, S)`` array of signed per-point, per-surface
+        factors; surface ``s`` receives ``weights[i, s] * patch_i``.  The
+        point count tracks the *net* signed mass on surface 0's convention:
+        callers doing add/remove bookkeeping should use
+        :meth:`add_weighted` / :meth:`remove_weighted` instead.
+        """
+        pts = as_points(points, allow_empty=True)
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim == 1:
+            w = w[:, None]
+        if w.shape != (pts.shape[0], self.n_surfaces):
+            raise DataError(
+                f"weights must have shape ({pts.shape[0]}, {self.n_surfaces}), "
+                f"got {w.shape}"
+            )
+        if w.size and not np.all(np.isfinite(w)):
+            raise DataError("weights contain non-finite entries")
+        self._scatter(pts, w)
+        return self
+
+    def add_weighted(self, points, weights) -> "MultiSurfaceAccumulator":
+        """Insert points with the given ``(n, S)`` weights."""
+        self.scatter(points, weights)
+        self._count += as_points(points, allow_empty=True).shape[0]
+        return self
+
+    def remove_weighted(self, points, weights) -> "MultiSurfaceAccumulator":
+        """Remove previously-inserted points (same weights as insertion)."""
+        pts = as_points(points, allow_empty=True)
+        if pts.shape[0] > self._count:
+            raise ParameterError(
+                f"cannot remove {pts.shape[0]} points; only {self._count} present"
+            )
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim == 1:
+            w = w[:, None]
+        self.scatter(pts, -w)
+        self._count -= pts.shape[0]
+        if self._count == 0:
+            # Snap accumulated float noise back to exactly empty.
+            self._values[:] = 0.0
+        return self
+
+    def _scatter(self, points: np.ndarray, weights: np.ndarray) -> None:
         xs, ys = self._xs, self._ys
         x0, y0 = xs[0], ys[0]
         radius = self._radius
@@ -71,7 +138,8 @@ class KDVAccumulator:
         b = self.bandwidth
         kernel = self.kernel
         truncated = radius < kernel.support_radius(b)
-        for px, py in points:
+        for row in range(points.shape[0]):
+            px, py = points[row]
             ix_lo = max(int(np.ceil((px - radius - x0) / self._dx)), 0)
             ix_hi = min(int(np.floor((px + radius - x0) / self._dx)), self.nx - 1)
             iy_lo = max(int(np.ceil((py - radius - y0) / self._dy)), 0)
@@ -84,36 +152,55 @@ class KDVAccumulator:
             patch = kernel.evaluate_sq(d2, b)
             if truncated:
                 patch = np.where(d2 <= r2, patch, 0.0)
-            self._values[ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += sign * patch
+            w_row = weights[row]
+            if self.n_surfaces == 1:
+                self._values[0, ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += (
+                    w_row[0] * patch
+                )
+            else:
+                # Per-surface 2-D adds beat one strided 3-D broadcast here:
+                # the patch is small and the surface count is a handful.
+                for s in range(self.n_surfaces):
+                    self._values[s, ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += (
+                        w_row[s] * patch
+                    )
 
-    def add(self, points) -> "KDVAccumulator":
-        """Add events to the surface; returns self for chaining."""
-        pts = as_points(points, allow_empty=True)
-        self._scatter(pts, +1.0)
-        self._count += pts.shape[0]
-        return self
-
-    def remove(self, points) -> "KDVAccumulator":
-        """Remove previously-added events (caller tracks membership)."""
-        pts = as_points(points, allow_empty=True)
-        if pts.shape[0] > self._count:
+    def surface(self, s: int) -> np.ndarray:
+        """Surface ``s`` as a defensive ``(nx, ny)`` copy."""
+        s = int(s)
+        if not (0 <= s < self.n_surfaces):
             raise ParameterError(
-                f"cannot remove {pts.shape[0]} points; only {self._count} present"
+                f"surface index must lie in [0, {self.n_surfaces}), got {s}"
             )
-        self._scatter(pts, -1.0)
-        self._count -= pts.shape[0]
-        if self._count == 0:
-            # Snap accumulated float noise back to exactly empty.
-            self._values[:] = 0.0
+        return self._values[s].copy()
+
+    def combine(self, factors) -> np.ndarray:
+        """Linear combination ``sum_s factors[s] * V_s`` as an (nx, ny) array."""
+        f = np.asarray(factors, dtype=np.float64).ravel()
+        if f.shape[0] != self.n_surfaces:
+            raise DataError(
+                f"factors must have length {self.n_surfaces}, got {f.shape[0]}"
+            )
+        return np.tensordot(f, self._values, axes=(0, 0))
+
+    def recombine(self, matrix) -> "MultiSurfaceAccumulator":
+        """Replace the surface bank with ``V'_m = sum_j matrix[m, j] * V_j``.
+
+        The STKDV backend uses this to re-reference its moment grids
+        (a change of temporal origin is a triangular linear map on the
+        moments), which keeps the accumulated powers well conditioned
+        without re-scattering any point.
+        """
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.shape != (self.n_surfaces, self.n_surfaces):
+            raise DataError(
+                f"matrix must have shape ({self.n_surfaces}, {self.n_surfaces}), "
+                f"got {m.shape}"
+            )
+        self._values = np.tensordot(m, self._values, axes=(1, 0))
         return self
 
-    def grid(self) -> DensityGrid:
-        """The current density surface (a defensive copy)."""
-        # Scattered subtraction can leave tiny negative residue; clip it.
-        values = np.maximum(self._values, 0.0)
-        return DensityGrid(self.bbox, values.copy())
-
-    def reset(self) -> "KDVAccumulator":
+    def reset(self) -> "MultiSurfaceAccumulator":
         """Drop all points."""
         self._values[:] = 0.0
         self._count = 0
@@ -121,6 +208,40 @@ class KDVAccumulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"KDVAccumulator(n={self._count}, grid={self.nx}x{self.ny}, "
+            f"{type(self).__name__}(n={self._count}, "
+            f"surfaces={self.n_surfaces}, grid={self.nx}x{self.ny}, "
             f"kernel={self.kernel.name}, b={self.bandwidth:g})"
         )
+
+
+class KDVAccumulator(MultiSurfaceAccumulator):
+    """Exact incremental KDV over a fixed window/lattice/kernel/bandwidth."""
+
+    def __init__(
+        self,
+        bbox: BoundingBox,
+        size: tuple[int, int],
+        bandwidth: float,
+        kernel: str | Kernel = "quartic",
+        tail: float = 1e-12,
+    ):
+        super().__init__(
+            bbox, size, bandwidth, kernel=kernel, n_surfaces=1, tail=tail
+        )
+
+    def add(self, points) -> "KDVAccumulator":
+        """Add events to the surface; returns self for chaining."""
+        pts = as_points(points, allow_empty=True)
+        self.add_weighted(pts, np.ones((pts.shape[0], 1)))
+        return self
+
+    def remove(self, points) -> "KDVAccumulator":
+        """Remove previously-added events (caller tracks membership)."""
+        pts = as_points(points, allow_empty=True)
+        self.remove_weighted(pts, np.ones((pts.shape[0], 1)))
+        return self
+
+    def grid(self) -> DensityGrid:
+        """The current density surface (a defensive copy)."""
+        # Scattered subtraction can leave tiny negative residue; clip it.
+        return DensityGrid(self.bbox, np.maximum(self.surface(0), 0.0))

@@ -23,6 +23,7 @@ A kernel exposes:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from math import comb
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from ..errors import ParameterError
 __all__ = [
     "Kernel",
     "clamp_non_negative",
+    "temporal_expansion_matrix",
     "UniformKernel",
     "EpanechnikovKernel",
     "QuarticKernel",
@@ -279,6 +281,45 @@ KERNELS: dict[str, Kernel] = {
         ExponentialKernel(),
     )
 }
+
+
+def temporal_expansion_matrix(
+    kernel: str | Kernel, bandwidth: float
+) -> np.ndarray | None:
+    """Binomial expansion of a polynomial kernel in event-time powers.
+
+    A finite-support kernel that is polynomial in the squared distance
+    (``poly_coeffs`` non-``None``) applied to a *temporal* offset
+    ``|t - t_i|`` is a polynomial in ``(t - t_i)``, so it separates into
+    powers of the frame time ``t`` and the event time ``t_i``::
+
+        K(|t - t_i|; b) = sum_{m, p} B[m, p] * t^p * t_i^m
+                        (valid for |t - t_i| <= support_radius(b))
+
+    with ``B[m, p] = (-1)^m * C(m + p, m) * c_{(m+p)/2}`` when ``m + p``
+    is even and ``(m + p) / 2`` indexes a ``poly_coeffs`` entry, else 0.
+    ``B`` is the ``(M, M)`` matrix with ``M = 2 * degree + 1``; the
+    temporal-sharing STKDV backend maintains one *moment grid* per row
+    ``m`` (``M_m(q) = sum_i t_i^m patch_i(q)``) and reconstructs a frame
+    at time ``t`` as ``sum_m (B @ [t^p])_m * M_m``.
+
+    Returns ``None`` for kernels that are not polynomial in the squared
+    distance (Gaussian, exponential, triangular, cosine) — exactly the
+    kernels the sharing backend must fall back to windowing for.
+    """
+    k = get_kernel(kernel)
+    coeffs = k.poly_coeffs(bandwidth)
+    if coeffs is None:
+        return None
+    degree = coeffs.shape[0] - 1
+    n = 2 * degree + 1
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for m in range(n):
+        for p in range(n - m):
+            if (m + p) % 2:
+                continue
+            matrix[m, p] = ((-1.0) ** m) * comb(m + p, m) * coeffs[(m + p) // 2]
+    return matrix
 
 
 def get_kernel(kernel: str | Kernel) -> Kernel:

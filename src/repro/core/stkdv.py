@@ -16,14 +16,34 @@ Backends:
 * ``window`` — the sliding-window sharing of SWS [27]: points are sorted
   by time once, each frame touches only the points inside its temporal
   support via binary search, and the spatial pass uses the exact cutoff
-  scatter: O(T * (XY + n_window * patch)).
+  scatter: O(T * (XY + n_window * patch));
+* ``shared`` — incremental temporal sharing (the SWS [27] line of work):
+  frames are processed in time order and the density surface is *updated*
+  instead of rebuilt.  For a polynomial temporal kernel,
+  ``K_t(|t - t_i|; b_t) = sum_m alpha_m(t) * t_i^m`` inside the support
+  (see :func:`repro.core.kernels.temporal_expansion_matrix`), so the
+  backend maintains a bank of moment grids
+  ``M_m(q) = sum_{i in window} t_i^m * patch_i(q)`` via cutoff-scatter
+  add/remove of only the events entering/leaving the temporal support
+  between consecutive frames, and emits each frame as the per-pixel
+  polynomial combination ``sum_m alpha_m(t) * M_m(q)``.  Each event is
+  scattered at most once per monotone pass — O(n * patch * M + T * XY * M)
+  total — instead of once per overlapping frame.  Requires a polynomial
+  temporal kernel (uniform, epanechnikov, quartic); other temporal
+  kernels fall back to ``window``.  Sharing is inherently serial across
+  frames, so ``workers``/``backend`` are ignored and the result is
+  bit-identical to ``workers=1`` by construction (the PR 2 determinism
+  contract holds trivially).
 
-Both are exact (up to the 1e-12 truncation of infinite kernels).
+All are exact (up to the 1e-12 truncation of infinite kernels, and
+float rounding in the ``shared`` moment combination, well below 1e-8
+relative).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import comb
 
 import numpy as np
 
@@ -35,12 +55,19 @@ from ..raster import DensityGrid
 from .kdv.base import KDVProblem
 from .kdv.gridcut import kde_gridcut
 from .kdv.naive import kde_naive
+from .kdv.streaming import MultiSurfaceAccumulator
 from .kdv.sweep import kde_sweep
-from .kernels import Kernel, get_kernel
+from .kernels import Kernel, get_kernel, temporal_expansion_matrix
 
 __all__ = ["STKDVResult", "stkdv", "STKDV_METHODS"]
 
-STKDV_METHODS = ("auto", "naive", "window")
+STKDV_METHODS = ("auto", "naive", "window", "shared")
+
+#: The shared backend re-references its moment grids whenever the frame
+#: time drifts further than this many temporal cutoffs from the current
+#: origin; it bounds the magnitude of the accumulated time powers (and
+#: hence the cancellation in the moment combination) by a constant.
+_RECENTER_CUTOFFS = 4.0
 
 
 @dataclass(frozen=True)
@@ -56,8 +83,13 @@ class STKDVResult:
         return int(self.values.shape[2])
 
     def frame(self, j: int) -> DensityGrid:
-        """Frame ``j`` as a standalone density grid."""
-        return DensityGrid(self.bbox, self.values[:, :, j])
+        """Frame ``j`` as a standalone density grid (a defensive copy).
+
+        The copy means mutating the returned grid's ``values`` can never
+        corrupt the stack (or vice versa), matching
+        :meth:`repro.core.kdv.KDVAccumulator.grid`.
+        """
+        return DensityGrid(self.bbox, self.values[:, :, j].copy())
 
     def frame_at(self, t: float) -> DensityGrid:
         """The frame whose timestamp is closest to ``t``."""
@@ -112,6 +144,88 @@ def _window_frame_task(task):
     return spatial_pass(problem).values
 
 
+def _recenter_matrix(n_moments: int, delta: float) -> np.ndarray:
+    """Moment re-referencing map for the origin shift ``t' = t - delta``.
+
+    ``sum_i (t_i - delta)^m patch_i = sum_j C(m, j) (-delta)^(m-j) M_j``,
+    so new moments are a lower-triangular recombination of the old ones.
+    """
+    matrix = np.zeros((n_moments, n_moments), dtype=np.float64)
+    for m in range(n_moments):
+        for j in range(m + 1):
+            matrix[m, j] = comb(m, j) * (-delta) ** (m - j)
+    return matrix
+
+
+def _shared_frames(
+    frames: np.ndarray,
+    sorted_pts: np.ndarray,
+    sorted_ts: np.ndarray,
+    bbox: BoundingBox,
+    size: tuple[int, int],
+    b_s: float,
+    k_s: Kernel,
+    cutoff: float,
+    expansion: np.ndarray,
+) -> list[np.ndarray]:
+    """Temporal-sharing STKDV: incremental moment grids over sorted frames.
+
+    Serial across frames by construction — each frame's window is derived
+    from the previous one's, so the output cannot depend on worker count.
+    """
+    nx, ny = size
+    n_moments = expansion.shape[0]
+    acc = MultiSurfaceAccumulator(
+        bbox, size, b_s, kernel=k_s, n_surfaces=n_moments
+    )
+    order = np.argsort(frames, kind="stable")
+    out: list[np.ndarray | None] = [None] * frames.shape[0]
+    lo = hi = 0
+    # Temporal origin of the moment bank; drift-triggered re-referencing
+    # keeps |t - origin| (and every accumulated time power) O(cutoff).
+    origin = float(frames[order[0]])
+    for j in order:
+        t = float(frames[j])
+        new_lo = int(np.searchsorted(sorted_ts, t - cutoff, side="left"))
+        new_hi = int(np.searchsorted(sorted_ts, t + cutoff, side="right"))
+        if new_lo >= new_hi:
+            # Empty window: drop any residue and re-anchor the origin.
+            acc.reset()
+            origin = t
+            lo, hi = new_lo, new_hi
+            out[j] = np.zeros((nx, ny), dtype=np.float64)
+            continue
+        if acc.n_points and abs(t - origin) > _RECENTER_CUTOFFS * cutoff:
+            acc.recombine(_recenter_matrix(n_moments, t - origin))
+            origin = t
+        elif not acc.n_points:
+            origin = t
+        # Events leaving the support: in the old window but left of the new.
+        drop_hi = min(new_lo, hi)
+        if lo < drop_hi:
+            leaving = sorted_ts[lo:drop_hi] - origin
+            acc.remove_weighted(
+                sorted_pts[lo:drop_hi],
+                leaving[:, None] ** np.arange(n_moments)[None, :],
+            )
+        # Events entering the support: in the new window but right of the old.
+        add_lo = max(new_lo, hi)
+        if add_lo < new_hi:
+            entering = sorted_ts[add_lo:new_hi] - origin
+            acc.add_weighted(
+                sorted_pts[add_lo:new_hi],
+                entering[:, None] ** np.arange(n_moments)[None, :],
+            )
+        lo, hi = new_lo, new_hi
+        tau = t - origin
+        alpha = expansion @ (tau ** np.arange(n_moments))
+        # Cancellation in the moment combination can leave tiny negative
+        # residue where the true density is ~0; clip it like the streaming
+        # accumulator does.
+        out[j] = np.maximum(acc.combine(alpha), 0.0)
+    return out
+
+
 def stkdv(
     points,
     times,
@@ -136,29 +250,40 @@ def stkdv(
     bbox, size:
         Window and per-frame pixel resolution (X x Y).
     frame_times:
-        Timestamps at which density frames are evaluated.
+        Timestamps at which density frames are evaluated (any order;
+        must be finite).
     bandwidth_space, bandwidth_time:
         The spatial ``b_s`` and temporal ``b_t`` bandwidths.
     kernel_space, kernel_time:
         Spatial and temporal kernels (any library kernel; the temporal one
         is applied to ``|t - t_i|``).
     method:
-        ``naive``, ``window``, or ``auto`` (window).
+        ``naive``, ``window``, ``shared``, or ``auto`` (window).
+        ``shared`` requires a temporal kernel that is polynomial in the
+        squared distance (uniform, epanechnikov, quartic) and falls back
+        to ``window`` otherwise.
     spatial_method:
         Spatial pass of the ``window`` backend: ``"grid"`` (cutoff
         scatter), ``"sweep"`` (sweep line — polynomial spatial kernels
         only), or ``"auto"`` (sweep when the kernel supports it and the
-        bandwidth spans at least two pixels; grid otherwise).
+        bandwidth spans at least two pixels; grid otherwise).  The
+        ``shared`` backend always scatters (its moment grids are
+        incremental cutoff-scatter surfaces), so this argument only
+        affects ``window`` (including the ``shared`` fallback).
     workers, backend:
-        Frame evaluation fans out over the shared executor
-        (:mod:`repro.parallel`); each frame writes its own slice of the
-        stack, so the result is identical at every worker count.
+        ``naive``/``window`` frame evaluation fans out over the shared
+        executor (:mod:`repro.parallel`); each frame writes its own slice
+        of the stack, so the result is identical at every worker count.
+        The ``shared`` backend is inherently serial across frames and
+        ignores both arguments (trivially worker-invariant).
     """
     pts = as_points(points)
     ts_vals = as_timestamps(times, pts.shape[0])
     frames = np.asarray(frame_times, dtype=np.float64).ravel()
     if frames.size == 0:
         raise ParameterError("frame_times must contain at least one timestamp")
+    if not np.all(np.isfinite(frames)):
+        raise ParameterError("frame_times contains non-finite entries")
     b_s = check_positive(bandwidth_space, "bandwidth_space")
     b_t = check_positive(bandwidth_time, "bandwidth_time")
     k_s = get_kernel(kernel_space)
@@ -167,10 +292,17 @@ def stkdv(
 
     if method == "auto":
         method = "window"
-    if method not in ("naive", "window"):
+    if method not in ("naive", "window", "shared"):
         raise ParameterError(
             f"unknown STKDV method {method!r}; available: {', '.join(STKDV_METHODS)}"
         )
+    expansion = None
+    if method == "shared":
+        expansion = temporal_expansion_matrix(k_t, b_t)
+        if expansion is None:
+            # Non-polynomial temporal kernel: no finite moment bank exists;
+            # fall back to per-frame windowing (documented contract).
+            method = "window"
     if spatial_method == "auto":
         dx, dy = bbox.pixel_size(nx, ny)
         use_sweep = (
@@ -188,6 +320,13 @@ def stkdv(
         ]
         frame_values = parallel_map(
             _naive_frame_task, tasks, workers=workers, backend=backend
+        )
+    elif method == "shared":
+        cutoff = _temporal_cutoff(k_t, b_t)
+        order = np.argsort(ts_vals, kind="stable")
+        frame_values = _shared_frames(
+            frames, pts[order], ts_vals[order], bbox, (nx, ny),
+            b_s, k_s, cutoff, expansion,
         )
     else:
         cutoff = _temporal_cutoff(k_t, b_t)

@@ -39,6 +39,25 @@ class TestParser:
                 ["kdv", "x.csv", "--bandwidth", "2", "--size", "64by48"]
             )
 
+    @pytest.mark.parametrize("size", ["0x0", "-3x5", "12x0"])
+    def test_non_positive_size_rejected(self, size, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["kdv", "x.csv", "--bandwidth", "2", f"--size={size}"]
+            )
+        assert exc.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("frames", ["0", "-3", "2.5", "lots"])
+    def test_bad_frame_count_rejected(self, frames, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["stkdv", "x.csv", "--bandwidth-space", "2",
+                 "--bandwidth-time", "25", "--frames", frames]
+            )
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
 
 class TestGenerate:
     @pytest.mark.parametrize("dataset,has_time", [
@@ -87,6 +106,17 @@ class TestKdvCommand:
         )
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+    def test_omitted_workers_defers_to_env_default(self, events_csv, capsys,
+                                                   monkeypatch):
+        """No --workers must consult REPRO_WORKERS, as --help promises."""
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5",
+             "--size", "32x24", "--method", "parallel"]
+        )
+        assert code == 1
+        assert "REPRO_WORKERS" in capsys.readouterr().err
 
 
 class TestKfunctionCommand:
@@ -155,3 +185,24 @@ class TestStkdvCommand:
         )
         assert code == 2
         assert "x,y,t" in capsys.readouterr().err
+
+    def test_shared_method_writes_frames(self, st_events_csv, tmp_path):
+        prefix = tmp_path / "shared"
+        code = main(
+            ["stkdv", str(st_events_csv), "--frames", "2", "--method", "shared",
+             "--bandwidth-space", "2.0", "--bandwidth-time", "25",
+             "--size", "32x24", "--out-prefix", str(prefix)]
+        )
+        assert code == 0
+        assert (tmp_path / "shared_000.ppm").exists()
+        assert (tmp_path / "shared_001.ppm").exists()
+
+    def test_zero_frames_is_clean_usage_error(self, st_events_csv, capsys):
+        """--frames 0 must die in argparse, not a numpy traceback."""
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["stkdv", str(st_events_csv), "--frames", "0",
+                 "--bandwidth-space", "2.0", "--bandwidth-time", "25"]
+            )
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err

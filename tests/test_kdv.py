@@ -186,6 +186,28 @@ class TestSamplingBackend:
             kde_sampling(KDVProblem(small_points, bbox, SIZE, BW, "quartic", weights=w))
 
 
+class TestWorkersDefault:
+    """``workers=None`` must defer to the shared executor defaults."""
+
+    def test_signature_default_is_none(self):
+        import inspect
+
+        assert inspect.signature(kde_grid).parameters["workers"].default is None
+
+    def test_omitted_workers_consults_env_default(self, small_points, bbox,
+                                                  monkeypatch):
+        """An invalid REPRO_WORKERS must surface — proof the env is read."""
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        with pytest.raises(ParameterError, match="REPRO_WORKERS"):
+            kde_grid(small_points, bbox, SIZE, BW, method="parallel")
+
+    def test_env_default_workers_used(self, clustered_points, bbox, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        grid = kde_grid(clustered_points, bbox, SIZE, BW, method="parallel")
+        ref = kde_grid(clustered_points, bbox, SIZE, BW, method="naive")
+        assert grid.max_abs_difference(ref) < 1e-9 * max(ref.max, 1.0)
+
+
 class TestKdeGridAPI:
     def test_auto_picks_exact_method(self, clustered_points, bbox):
         auto = kde_grid(clustered_points, bbox, SIZE, BW, kernel="quartic")

@@ -86,6 +86,41 @@ class TestPolynomialCoefficients:
         np.testing.assert_allclose(poly, k.evaluate(d, b), atol=1e-12)
 
 
+class TestTemporalExpansionMatrix:
+    """K(|t - t_i|) must equal the separated bilinear form in t and t_i."""
+
+    @pytest.mark.parametrize("name", POLY)
+    def test_bilinear_identity_inside_support(self, name):
+        from repro.core.kernels import temporal_expansion_matrix
+
+        k = KERNELS[name]
+        b = 3.0
+        matrix = temporal_expansion_matrix(k, b)
+        n = matrix.shape[0]
+        rng = np.random.default_rng(11)
+        t = rng.uniform(-10.0, 10.0, 40)
+        ti = t + rng.uniform(-b, b, 40)  # always inside the support
+        powers_t = t[:, None] ** np.arange(n)[None, :]
+        powers_ti = ti[:, None] ** np.arange(n)[None, :]
+        bilinear = np.einsum("im,mp,ip->i", powers_ti, matrix, powers_t)
+        np.testing.assert_allclose(
+            bilinear, k.evaluate(np.abs(t - ti), b), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("name", ["gaussian", "exponential", "triangular",
+                                      "cosine"])
+    def test_non_polynomial_returns_none(self, name):
+        from repro.core.kernels import temporal_expansion_matrix
+
+        assert temporal_expansion_matrix(name, 2.0) is None
+
+    def test_accepts_kernel_names(self):
+        from repro.core.kernels import temporal_expansion_matrix
+
+        matrix = temporal_expansion_matrix("epanechnikov", 2.0)
+        assert matrix.shape == (3, 3)
+
+
 class TestSpecificValues:
     def test_uniform_value(self):
         assert KERNELS["uniform"].evaluate(0.5, 2.0) == pytest.approx(0.5)

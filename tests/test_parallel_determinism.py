@@ -213,6 +213,17 @@ class TestFixedPartitionDeterminism:
                         1.5, 20.0, workers=workers, backend=backend)
             assert np.array_equal(got.values, ref.values)
 
+    def test_stkdv_shared(self, covid):
+        """The shared backend is serial across frames; workers are inert."""
+        frames = np.linspace(*covid.time_range, 4)
+        ref = stkdv(covid.points, covid.times, covid.bbox, (32, 24), frames,
+                    1.5, 20.0, method="shared", workers=1, backend="serial")
+        for workers, backend in _grid():
+            got = stkdv(covid.points, covid.times, covid.bbox, (32, 24), frames,
+                        1.5, 20.0, method="shared", workers=workers,
+                        backend=backend)
+            assert np.array_equal(got.values, ref.values)
+
     def test_kde_parallel_matches_any_worker_count(self, crime):
         from repro.core.kdv import kde_grid
 

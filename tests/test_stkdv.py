@@ -96,6 +96,100 @@ class TestFigure4Semantics:
         assert mass[1] > mass[0]
 
 
+class TestSharedBackend:
+    """The temporal-sharing backend must reproduce naive/window exactly."""
+
+    @pytest.mark.parametrize("kt", ["uniform", "epanechnikov", "quartic"])
+    def test_matches_naive_and_window(self, kt, covid):
+        frames = np.linspace(0.0, 200.0, 9)
+        naive = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            kernel_time=kt, method="naive",
+        )
+        window = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            kernel_time=kt, method="window",
+        )
+        shared = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            kernel_time=kt, method="shared",
+        )
+        scale = max(naive.values.max(), 1.0)
+        assert np.abs(shared.values - naive.values).max() < 1e-8 * scale
+        assert np.abs(shared.values - window.values).max() < 1e-8 * scale
+
+    @pytest.mark.parametrize("kt", ["uniform", "epanechnikov", "quartic"])
+    def test_irregular_unsorted_duplicate_frames(self, kt, covid):
+        frames = [150.0, 40.0, 40.0, 199.5, 3.3, 40.0, 77.7]
+        a = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            kernel_time=kt, method="naive",
+        )
+        b = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            kernel_time=kt, method="shared",
+        )
+        assert np.abs(a.values - b.values).max() < 1e-8 * max(a.values.max(), 1.0)
+        # Duplicate frame times produce identical frames.
+        assert np.array_equal(b.values[:, :, 1], b.values[:, :, 2])
+
+    def test_empty_windows_interleaved(self, covid):
+        """Frames outside the data's time span yield exactly-zero frames."""
+        frames = [-5000.0, 50.0, 5000.0, 150.0, 9000.0]
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 10.0,
+            kernel_time="quartic", method="shared",
+        )
+        assert res.values[:, :, 0].max() == 0.0
+        assert res.values[:, :, 2].max() == 0.0
+        assert res.values[:, :, 4].max() == 0.0
+        ref = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 10.0,
+            kernel_time="quartic", method="naive",
+        )
+        assert np.abs(res.values - ref.values).max() < 1e-8 * max(ref.values.max(), 1.0)
+
+    def test_non_polynomial_temporal_kernel_falls_back(self, covid):
+        """Gaussian time kernel has no moment expansion: shared == window."""
+        a = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [100.0], 2.5, 30.0,
+            kernel_time="gaussian", method="shared",
+        )
+        b = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [100.0], 2.5, 30.0,
+            kernel_time="gaussian", method="window",
+        )
+        assert np.array_equal(a.values, b.values)
+
+    def test_worker_arguments_are_inert(self, covid):
+        """Sharing is serial across frames: any workers/backend is identical."""
+        frames = np.linspace(0.0, 200.0, 5)
+        ref = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            method="shared", workers=1, backend="serial",
+        )
+        got = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, frames, 2.5, 25.0,
+            method="shared", workers=4, backend="thread",
+        )
+        assert np.array_equal(ref.values, got.values)
+
+    def test_wide_time_span_stays_conditioned(self, covid):
+        """Re-referencing keeps the moment bank accurate over huge spans."""
+        rng = np.random.default_rng(7)
+        times = rng.uniform(0.0, 1e6, covid.points.shape[0])
+        frames = np.linspace(0.0, 1e6, 7)
+        a = stkdv(
+            covid.points, times, covid.bbox, SIZE, frames, 2.5, 5e4,
+            kernel_time="quartic", method="naive",
+        )
+        b = stkdv(
+            covid.points, times, covid.bbox, SIZE, frames, 2.5, 5e4,
+            kernel_time="quartic", method="shared",
+        )
+        assert np.abs(a.values - b.values).max() < 1e-8 * max(a.values.max(), 1.0)
+
+
 class TestResultAPI:
     def test_frame_and_frame_at(self, covid):
         res = stkdv(
@@ -108,9 +202,27 @@ class TestResultAPI:
             res.frame_at(49.0).values, res.values[:, :, 0]
         )
 
+    def test_frame_mutation_does_not_alter_stack(self, covid):
+        """frame() hands out a copy, never a writable view into the stack."""
+        res = stkdv(
+            covid.points, covid.times, covid.bbox, SIZE, [50.0, 150.0], 2.0, 25.0
+        )
+        before = res.values.copy()
+        res.frame(0).values[:] = 123.0
+        res.frame_at(150.0).values[0, 0] = -7.0
+        assert np.array_equal(res.values, before)
+
     def test_empty_frames_rejected(self, covid):
         with pytest.raises(ParameterError, match="at least one"):
             stkdv(covid.points, covid.times, covid.bbox, SIZE, [], 2.0, 25.0)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_frame_times_rejected(self, bad, covid):
+        with pytest.raises(ParameterError, match="non-finite"):
+            stkdv(
+                covid.points, covid.times, covid.bbox, SIZE, [50.0, bad],
+                2.0, 25.0,
+            )
 
     def test_bad_bandwidths(self, covid):
         with pytest.raises(ParameterError):

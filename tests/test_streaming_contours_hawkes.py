@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.kdv import KDVAccumulator, KDVProblem, kde_gridcut
+from repro.core.kdv import (
+    KDVAccumulator,
+    KDVProblem,
+    MultiSurfaceAccumulator,
+    kde_gridcut,
+)
 from repro.data import hawkes_st
-from repro.errors import ParameterError
+from repro.errors import DataError, ParameterError
 from repro.geometry import BoundingBox
 from repro.raster import DensityGrid, contour_polylines, contour_segments
 
@@ -72,6 +77,69 @@ class TestKDVAccumulator:
         acc = KDVAccumulator(bbox, self.SIZE, 1.0, kernel="gaussian")
         acc.add(small_points)
         assert acc.grid().max > 0
+
+
+class TestMultiSurfaceAccumulator:
+    SIZE = (24, 16)
+
+    def test_each_surface_matches_weighted_batch(self, clustered_points, bbox, rng):
+        """Surface s equals a from-scratch weighted KDV with column s."""
+        w = rng.uniform(0.1, 2.0, size=(clustered_points.shape[0], 3))
+        acc = MultiSurfaceAccumulator(bbox, self.SIZE, 1.5, n_surfaces=3)
+        acc.add_weighted(clustered_points, w)
+        for s in range(3):
+            batch = kde_gridcut(
+                KDVProblem(clustered_points, bbox, self.SIZE, 1.5, "quartic",
+                           weights=w[:, s])
+            )
+            err = np.abs(acc.surface(s) - batch.values).max()
+            assert err < 1e-9 * max(np.abs(batch.values).max(), 1.0)
+
+    def test_remove_weighted_undoes_add(self, clustered_points, bbox, rng):
+        w = rng.uniform(0.5, 2.0, size=(clustered_points.shape[0], 2))
+        acc = MultiSurfaceAccumulator(bbox, self.SIZE, 1.5, n_surfaces=2)
+        acc.add_weighted(clustered_points, w)
+        acc.remove_weighted(clustered_points, w)
+        assert acc.n_points == 0
+        assert np.all(acc.surface(0) == 0.0)
+        assert np.all(acc.surface(1) == 0.0)
+
+    def test_combine_is_linear(self, small_points, bbox, rng):
+        w = rng.uniform(-1.0, 1.0, size=(small_points.shape[0], 2))
+        acc = MultiSurfaceAccumulator(bbox, self.SIZE, 1.5, n_surfaces=2)
+        acc.add_weighted(small_points, w)
+        combo = acc.combine([2.0, -0.5])
+        np.testing.assert_allclose(
+            combo, 2.0 * acc.surface(0) - 0.5 * acc.surface(1), atol=1e-12
+        )
+
+    def test_recombine_applies_linear_map(self, small_points, bbox, rng):
+        w = rng.uniform(-1.0, 1.0, size=(small_points.shape[0], 2))
+        acc = MultiSurfaceAccumulator(bbox, self.SIZE, 1.5, n_surfaces=2)
+        acc.add_weighted(small_points, w)
+        s0, s1 = acc.surface(0), acc.surface(1)
+        acc.recombine([[1.0, 2.0], [0.0, -1.0]])
+        np.testing.assert_allclose(acc.surface(0), s0 + 2.0 * s1, atol=1e-12)
+        np.testing.assert_allclose(acc.surface(1), -s1, atol=1e-12)
+
+    def test_surface_is_copy(self, small_points, bbox):
+        acc = MultiSurfaceAccumulator(bbox, self.SIZE, 1.0)
+        acc.add_weighted(small_points, np.ones((small_points.shape[0], 1)))
+        snap = acc.surface(0)
+        acc.add_weighted(small_points, np.ones((small_points.shape[0], 1)))
+        assert acc.surface(0).sum() > snap.sum()
+
+    def test_shape_and_index_validation(self, small_points, bbox):
+        acc = MultiSurfaceAccumulator(bbox, self.SIZE, 1.0, n_surfaces=2)
+        with pytest.raises(DataError, match="weights"):
+            acc.scatter(small_points, np.ones((small_points.shape[0], 3)))
+        with pytest.raises(DataError, match="non-finite"):
+            acc.scatter(small_points,
+                        np.full((small_points.shape[0], 2), np.nan))
+        with pytest.raises(ParameterError, match="surface index"):
+            acc.surface(2)
+        with pytest.raises(ParameterError, match="n_surfaces"):
+            MultiSurfaceAccumulator(bbox, self.SIZE, 1.0, n_surfaces=0)
 
     def test_reset(self, small_points, bbox):
         acc = KDVAccumulator(bbox, self.SIZE, 1.0)
