@@ -17,6 +17,7 @@ __all__ = [
     "as_points",
     "as_values",
     "as_timestamps",
+    "as_weights",
     "check_positive",
     "check_non_negative",
     "check_in_range",
@@ -62,6 +63,21 @@ def as_values(values, n: int, name: str = "values") -> np.ndarray:
 def as_timestamps(times, n: int, name: str = "times") -> np.ndarray:
     """Coerce event timestamps to a length-``n`` float64 vector."""
     return as_values(times, n, name=name)
+
+
+def as_weights(weights, n: int, name: str = "weights") -> np.ndarray:
+    """Coerce per-point weights to a length-``n`` non-negative float64 vector.
+
+    Weights enter kernel sums and tree node aggregates, so they must be
+    finite and non-negative (negative mass would break every density
+    bound in the library).
+    """
+    arr = np.asarray(weights, dtype=np.float64).ravel()
+    if arr.shape[0] != n:
+        raise ParameterError(f"{name} must have length {n}, got {arr.shape[0]}")
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0)):
+        raise ParameterError(f"{name} must be finite and non-negative")
+    return arr
 
 
 def check_positive(value: float, name: str) -> float:

@@ -63,6 +63,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}"
+        ) from exc
+    if not (value >= 0.0):  # rejects negatives and NaN alike
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for the ``python -m repro`` command suite."""
     parser = argparse.ArgumentParser(
@@ -88,7 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
     kdv.add_argument("--ascii", action="store_true", help="print a terminal preview")
     kdv.add_argument(
         "--workers", type=int, default=None,
-        help="worker count for the shared executor (default: REPRO_WORKERS)",
+        help="worker count for the parallel/dualtree methods (default: "
+             "REPRO_WORKERS; with --method auto, selects the parallel backend)",
+    )
+    kdv.add_argument(
+        "--backend", default=None, choices=["serial", "thread", "process"],
+        help="executor backend for the parallel/dualtree methods "
+             "(default: REPRO_BACKEND; dualtree output is bit-identical "
+             "for every choice)",
+    )
+    kdv.add_argument(
+        "--tau", type=_non_negative_float, default=None,
+        help="absolute error budget for --method dualtree "
+             "(per-pixel error <= tau/2; 0 = exact; default 1e-3)",
     )
 
     kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes")
@@ -163,18 +189,27 @@ def _cmd_generate(args) -> int:
 def _cmd_kdv(args) -> int:
     ds = read_dataset_csv(args.input, margin=0.0)
     method = args.method
-    if args.workers is not None and method == "auto":
-        # An explicit worker request selects the parallel exact backend.
+    if method == "auto" and (args.workers is not None or args.backend is not None):
+        # An explicit executor request selects the parallel exact backend.
         method = "parallel"
     grid = kde_grid(
         ds.points, ds.bbox, args.size, args.bandwidth,
         kernel=args.kernel, method=method, workers=args.workers,
+        backend=args.backend, tau=args.tau,
     )
     print(
         f"KDV over {ds.points.shape[0]} events, grid {args.size[0]}x{args.size[1]}, "
         f"kernel={args.kernel}, b={args.bandwidth:g}; peak density {grid.max:.4g} "
         f"at ({grid.argmax_coords()[0]:.3g}, {grid.argmax_coords()[1]:.3g})"
     )
+    if grid.stats is not None:
+        s = grid.stats
+        print(
+            f"refinement: {s.pairs_visited} pairs, {s.tiles_bulk_accepted} bulk "
+            f"accepts, {s.leaf_leaf_scans} leaf scans ({s.points_touched} points), "
+            f"{s.n_jobs}/{s.n_tiles} tiles refined; plan {s.plan_seconds * 1e3:.0f} ms, "
+            f"execute {s.execute_seconds * 1e3:.0f} ms"
+        )
     if args.out:
         write_ppm(args.out, grid, args.colormap)
         print(f"heatmap written to {args.out}")

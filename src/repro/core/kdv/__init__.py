@@ -7,7 +7,7 @@ from .bandwidth import scott_bandwidth, silverman_bandwidth
 from .lscv import lscv_bandwidth, lscv_score
 from .base import KDVProblem, effective_radius
 from .bounds import kde_bounds, kde_point_bounds
-from .dualtree import kde_dualtree
+from .dualtree import RefinementStats, kde_dualtree
 from .gridcut import kde_gridcut
 from .naive import kde_naive
 from .parallel import kde_parallel
@@ -19,6 +19,7 @@ __all__ = [
     "KDVAccumulator",
     "MultiSurfaceAccumulator",
     "KDVProblem",
+    "RefinementStats",
     "adaptive_bandwidths",
     "kde_adaptive",
     "lscv_bandwidth",

@@ -1,24 +1,43 @@
-"""Public KDV entry point: one function, five interchangeable backends.
+"""Public KDV entry point: one function, nine interchangeable backends.
 
 ``kde_grid`` is the library's Definition 1: colour every pixel of an
 ``nx x ny`` grid by the kernel density value of Equation 1.  The
 ``method`` argument selects an acceleration family from §2.2:
 
-============  ====================================================  =======
+============  ====================================================  ============
 method        algorithm                                             result
-============  ====================================================  =======
+============  ====================================================  ============
 ``naive``     brute-force O(XYn) gather                             exact
 ``grid``      support-cutoff scatter                                exact*
 ``sweep``     SLAM-style sweep line, O(Y(X + n))                    exact
-``bounds``    kd/ball-tree function approximation                   (1±eps)
-``dualtree``  tile-vs-node block refinement                         |err|<=tau/2
+``bounds``    per-pixel kd/ball-tree function approximation         (1±eps)
+``dualtree``  parallel tile-vs-node block refinement                |err|<=tau/2
 ``sampling``  reweighted uniform subset (Equation 7)                prob.
 ``parallel``  thread-parallel exact gather                          exact
+``adaptive``  Abramson/Silverman per-point bandwidths               exact**
 ``auto``      sweep for polynomial kernels, grid otherwise          exact*
-============  ====================================================  =======
+============  ====================================================  ============
 
 (*) for infinite-support kernels, ``grid``/``auto`` truncate below a
 ``1e-12`` kernel tail; the absolute error is bounded by ``n * 1e-12``.
+(**) exact for the *adaptive* estimator, which is a different surface
+from the fixed-bandwidth Definition 1.
+
+Per-point ``weights`` are honoured by ``naive``, ``grid``, ``sweep``,
+``parallel``, ``adaptive``, ``auto`` and — since the plan/execute
+refactor — ``dualtree``, whose kd-tree carries per-node weight sums so
+the ``|err| <= tau/2`` guarantee is spent against the total weight.
+``bounds`` and ``sampling`` reject weights (their analyses assume unit
+mass).  ``dualtree`` and ``parallel`` additionally accept ``workers`` /
+``backend`` and route their hot loop through :mod:`repro.parallel` under
+the bit-identical worker-invariance contract; ``dualtree`` attaches a
+:class:`~repro.core.kdv.dualtree.RefinementStats` record to the result's
+``stats`` attribute.
+
+Method-specific parameters (``eps``, ``delta``, ``sample``, ``seed``,
+``index``, ``tau``, ``workers``, ``backend``) raise
+:class:`~repro.errors.ParameterError` when combined with a method that
+would silently ignore them.
 """
 
 from __future__ import annotations
@@ -44,6 +63,20 @@ KDV_METHODS = (
     "adaptive",
 )
 
+# Which methods honour each method-specific keyword.  ``None`` (the
+# argument default) always means "not requested"; an explicit value with
+# a method outside its row is an error rather than a silent no-op.
+_METHOD_ONLY_PARAMS: dict[str, tuple[str, ...]] = {
+    "eps": ("bounds", "sampling"),
+    "delta": ("sampling",),
+    "sample": ("sampling",),
+    "seed": ("sampling",),
+    "index": ("bounds",),
+    "tau": ("dualtree",),
+    "workers": ("parallel", "dualtree"),
+    "backend": ("parallel", "dualtree"),
+}
+
 
 def kde_grid(
     points,
@@ -54,14 +87,14 @@ def kde_grid(
     method: str = "auto",
     weights=None,
     normalize: bool = False,
-    eps: float = 0.05,
-    delta: float = 0.05,
+    eps: float | None = None,
+    delta: float | None = None,
     sample: int | None = None,
     seed=None,
     workers: int | None = None,
     backend: str | None = None,
-    index: str = "kdtree",
-    tau: float = 1e-3,
+    index: str | None = None,
+    tau: float | None = None,
 ) -> DensityGrid:
     """Kernel density visualisation (paper Definition 1).
 
@@ -83,27 +116,46 @@ def kde_grid(
     method:
         Backend selector; see the module table.
     weights:
-        Optional per-point weights (``naive``/``grid``/``sweep``/
-        ``parallel`` only).
+        Optional per-point weights (all methods except ``bounds`` and
+        ``sampling``, which raise).
     normalize:
         When true, scale the raw kernel sums by Equation 1's ``w`` so the
         surface integrates to one.
     eps, delta, sample, seed:
-        Guarantee / sample-size parameters for ``bounds`` and ``sampling``.
+        Guarantee / sample-size parameters for ``bounds`` (``eps`` only)
+        and ``sampling``; defaults ``eps=0.05``, ``delta=0.05``.
     workers, backend:
-        Worker count and executor backend for ``parallel`` (see
-        :mod:`repro.parallel`; ``workers=None`` uses the shared default,
-        i.e. ``REPRO_WORKERS`` / :func:`repro.parallel.set_default_workers`,
-        falling back to 1).
+        Worker count and executor backend for ``parallel`` and
+        ``dualtree`` (see :mod:`repro.parallel`; ``workers=None`` uses
+        the shared default, i.e. ``REPRO_WORKERS`` /
+        :func:`repro.parallel.set_default_workers`, falling back to 1).
     index:
-        Carrier index for ``bounds``: ``"kdtree"`` or ``"balltree"``.
+        Carrier index for ``bounds``: ``"kdtree"`` (default) or
+        ``"balltree"``.
     tau:
-        Absolute error budget for ``dualtree`` (per-pixel error <= tau/2).
+        Absolute error budget for ``dualtree`` (per-pixel error
+        <= tau/2; default ``1e-3``).
 
     Returns
     -------
-    :class:`~repro.raster.DensityGrid`
+    :class:`~repro.raster.DensityGrid` (with a ``RefinementStats`` record
+    on ``.stats`` when ``method="dualtree"``).
     """
+    if method not in KDV_METHODS:
+        raise ParameterError(
+            f"unknown KDV method {method!r}; available: {', '.join(KDV_METHODS)}"
+        )
+    requested = {
+        "eps": eps, "delta": delta, "sample": sample, "seed": seed,
+        "workers": workers, "backend": backend, "index": index, "tau": tau,
+    }
+    for name, accepted_by in _METHOD_ONLY_PARAMS.items():
+        if requested[name] is not None and method not in accepted_by:
+            raise ParameterError(
+                f"{name}= is only honoured by method "
+                f"{' / '.join(repr(m) for m in accepted_by)}, not {method!r}"
+            )
+
     problem = KDVProblem(points, bbox, size, bandwidth, kernel, weights=weights)
 
     if method == "auto":
@@ -121,20 +173,33 @@ def kde_grid(
     elif method == "sweep":
         grid = kde_sweep(problem)
     elif method == "bounds":
-        grid = kde_bounds(problem, eps=eps, index=index)
+        grid = kde_bounds(
+            problem,
+            eps=0.05 if eps is None else eps,
+            index="kdtree" if index is None else index,
+        )
     elif method == "dualtree":
-        grid = kde_dualtree(problem, tau=tau)
+        grid = kde_dualtree(
+            problem,
+            tau=1e-3 if tau is None else tau,
+            workers=workers,
+            backend=backend,
+        )
     elif method == "sampling":
-        grid = kde_sampling(problem, eps=eps, delta=delta, sample=sample, seed=seed)
+        grid = kde_sampling(
+            problem,
+            eps=0.05 if eps is None else eps,
+            delta=0.05 if delta is None else delta,
+            sample=sample,
+            seed=seed,
+        )
     elif method == "parallel":
         grid = kde_parallel(problem, workers=workers, backend=backend)
-    elif method == "adaptive":
+    else:  # "adaptive" — the method name was validated above
         grid = kde_adaptive(problem)
-    else:
-        raise ParameterError(
-            f"unknown KDV method {method!r}; available: {', '.join(KDV_METHODS)}"
-        )
 
     if normalize:
-        grid = DensityGrid(grid.bbox, grid.values * problem.normalization())
+        grid = DensityGrid(
+            grid.bbox, grid.values * problem.normalization(), stats=grid.stats
+        )
     return grid

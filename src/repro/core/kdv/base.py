@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..._validation import as_points, check_positive
+from ..._validation import as_points, as_weights, check_positive
 from ...errors import ParameterError
 from ...geometry import BoundingBox
 from ...raster import DensityGrid
@@ -64,12 +64,7 @@ class KDVProblem:
         if weights is None:
             self.weights = None
         else:
-            w = np.asarray(weights, dtype=np.float64).ravel()
-            if w.shape[0] != n:
-                raise ParameterError(f"weights must have length {n}, got {w.shape[0]}")
-            if np.any(~np.isfinite(w)) or np.any(w < 0):
-                raise ParameterError("weights must be finite and non-negative")
-            self.weights = w
+            self.weights = as_weights(weights, n)
 
     @property
     def n(self) -> int:
@@ -81,8 +76,8 @@ class KDVProblem:
     def total_weight(self) -> float:
         return float(self.n if self.weights is None else self.weights.sum())
 
-    def make_grid(self, values: np.ndarray) -> DensityGrid:
-        return DensityGrid(self.bbox, values)
+    def make_grid(self, values: np.ndarray, stats=None) -> DensityGrid:
+        return DensityGrid(self.bbox, values, stats=stats)
 
     def normalization(self) -> float:
         """Equation 1's ``w`` for a probability density: 1 / (W * integral)."""

@@ -1,4 +1,4 @@
-"""Dual-tree KDV: block function approximation with an absolute guarantee.
+"""Dual-tree KDV: parallel block function approximation with an absolute guarantee.
 
 The per-pixel bound refinement of :mod:`.bounds` answers one pixel at a
 time; the dual-tree formulation (the structure actually used by QUAD [25]
@@ -8,32 +8,106 @@ against *kd-tree nodes* simultaneously:
 * for a (tile, node) pair, the distance between the tile's rectangle and
   the node's bounding box brackets every pixel-point distance, so
 
-      node.count * K(dmax)  <=  contribution to each pixel  <=  node.count * K(dmin);
+      W_node * K(dmax)  <=  contribution to each pixel  <=  W_node * K(dmin)
 
-* if the per-point gap ``K(dmin) - K(dmax)`` is at most ``tau / n``, the
-  midpoint is added to the whole tile at once — each pixel's total error
-  is then at most ``tau / 2`` because the accepted nodes partition the
-  point set;
+  where ``W_node`` is the total point weight below the node (the point
+  count for unweighted input);
+* if the per-unit-weight gap ``K(dmin) - K(dmax)`` is at most
+  ``tau / W_total``, the midpoint is added to the whole tile at once —
+  each pixel's total error is then at most ``tau / 2`` because the
+  accepted nodes partition the point set;
 * otherwise the pair recurses on whichever side is wider (tile split or
   node split); leaf-leaf pairs are evaluated exactly.
 
 The guarantee is *absolute* (``|F̂(q) - F(q)| <= tau/2`` for every pixel),
 which composes cleanly across tiles; pass ``tau=0`` for exact evaluation.
 Works with every kernel in the library.
+
+**Plan/execute split.**  Refinement runs in two phases so the hot loop can
+ride :mod:`repro.parallel`:
+
+1. a cheap serial *plan* descent splits the root (tile, node) pair
+   tile-first into a partition of the pixel grid whose shape depends only
+   on the grid geometry — never on the worker count — and prunes each
+   tile's kd-node frontier at the top of the tree (far-field bulk accepts
+   become a per-tile scalar, out-of-support nodes are dropped);
+2. the *execute* phase runs one refinement job per tile through
+   :func:`repro.parallel.parallel_starmap`; each job owns a disjoint
+   ``values[ix0:ix1, iy0:iy1]`` slice.
+
+Because the tile partition and every job's work are worker-invariant, the
+output is **bit-identical for every ``workers``/``backend`` combination,
+including serial** — parallelism changes wall-time only.  A
+:class:`RefinementStats` record describing the refinement (pair counts,
+bulk accepts, exact scans, per-phase wall time) is attached to the
+returned grid as ``grid.stats``.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import asdict, dataclass
+from time import perf_counter
+
 import numpy as np
 
 from ..._validation import check_non_negative
-from ...errors import ParameterError
 from ...index import KDTree
+from ...parallel import parallel_starmap
 from .base import KDVProblem
 
-__all__ = ["kde_dualtree"]
+__all__ = ["RefinementStats", "kde_dualtree"]
 
 _TILE_LEAF = 8  # tiles at most this many pixels wide are scanned exactly
+
+# The plan phase stops splitting once it holds this many tiles: four times
+# a generous worker ceiling, so every realistic pool finds enough
+# independent jobs to balance load.  It is a FIXED constant — deriving it
+# from ``workers`` or ``os.cpu_count()`` would make the partition (and the
+# per-pixel float summation order) depend on the machine, breaking the
+# bit-identical determinism contract of ``repro.parallel``.
+_PLAN_TILE_CAP = 32
+
+
+@dataclass(frozen=True)
+class RefinementStats:
+    """Observability record for one dual-tree refinement run.
+
+    Attached to the returned grid as ``grid.stats``; all counters cover
+    the plan and execute phases together.
+    """
+
+    pairs_visited: int
+    """(tile, node) pairs popped from a refinement stack."""
+
+    pairs_pruned: int
+    """Pairs discarded because the whole pair lies outside the kernel
+    support (or carries zero weight)."""
+
+    tiles_bulk_accepted: int
+    """Pairs whose bound midpoint was added to an entire tile at once."""
+
+    leaf_leaf_scans: int
+    """Exact leaf-tile vs leaf-node block evaluations."""
+
+    points_touched: int
+    """Point entries scanned across all exact leaf-leaf evaluations."""
+
+    n_tiles: int
+    """Tiles in the worker-invariant plan partition."""
+
+    n_jobs: int
+    """Tiles that still had refinement work after the plan prune."""
+
+    plan_seconds: float
+    """Wall time of the serial plan descent (tree build included)."""
+
+    execute_seconds: float
+    """Wall time of the parallel execute phase."""
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (for benchmark JSON and logging)."""
+        return asdict(self)
 
 
 def _box_distance_bounds(
@@ -45,61 +119,162 @@ def _box_distance_bounds(
     dy_min = max(ny0 - ty1, 0.0, ty0 - ny1)
     dx_max = max(nx1 - tx0, tx1 - nx0)
     dy_max = max(ny1 - ty0, ty1 - ny0)
-    return float(np.hypot(dx_min, dy_min)), float(np.hypot(dx_max, dy_max))
+    return math.hypot(dx_min, dy_min), math.hypot(dx_max, dy_max)
 
 
-def kde_dualtree(
-    problem: KDVProblem,
-    tau: float = 1e-3,
-    leaf_size: int = 32,
-):
-    """KDV with per-pixel absolute error at most ``tau / 2``.
+def _partition_tiles(nx: int, ny: int, cap: int) -> list[tuple[int, int, int, int]]:
+    """Split the pixel grid into at most ``cap`` half-open tiles.
 
-    Parameters
-    ----------
-    problem:
-        The KDV instance (per-point weights are not supported: node counts
-        are the bound multipliers).
-    tau:
-        Absolute error budget; ``0`` gives exact evaluation through
-        leaf-leaf scans.  A good default for visualisation is a small
-        fraction of the expected peak (e.g. ``1e-3 * n * K_max``) — but
-        even ``tau ~ 1`` is invisible on a colour-mapped heatmap.
-    leaf_size:
-        kd-tree leaf size.
+    Pure function of the grid shape: the largest tile is bisected along
+    its wider pixel dimension until the cap is reached (ties broken by
+    list position), so the partition — and therefore the per-pixel
+    summation order of the whole backend — never depends on the worker
+    count, the backend, or the machine.
     """
-    if problem.weights is not None:
-        raise ParameterError("the dual-tree backend does not support point weights")
-    tau = check_non_negative(tau, "tau")
+    tiles = [(0, nx, 0, ny)]
+    while len(tiles) < cap:
+        best = -1
+        best_area = 1  # tiles of area 1 (single pixels) cannot split
+        for i, (ix0, ix1, iy0, iy1) in enumerate(tiles):
+            area = (ix1 - ix0) * (iy1 - iy0)
+            if area > best_area:
+                best, best_area = i, area
+        if best < 0:
+            break
+        ix0, ix1, iy0, iy1 = tiles.pop(best)
+        if ix1 - ix0 >= iy1 - iy0:
+            mid = (ix0 + ix1) // 2
+            first, second = (ix0, mid, iy0, iy1), (mid, ix1, iy0, iy1)
+        else:
+            mid = (iy0 + iy1) // 2
+            first, second = (ix0, ix1, iy0, mid), (ix0, ix1, mid, iy1)
+        tiles.insert(best, second)
+        tiles.insert(best, first)
+    return tiles
 
-    tree = KDTree(problem.points, leaf_size=leaf_size)
-    kernel = problem.kernel
-    b = problem.bandwidth
-    n = problem.n
-    per_point_tol = tau / n
 
-    xs, ys = problem.pixel_centers()
-    nx, ny = problem.nx, problem.ny
-    values = np.zeros((nx, ny), dtype=np.float64)
+def _plan_tile(
+    tree: KDTree,
+    kernel,
+    bandwidth: float,
+    per_w_tol: float,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    tile: tuple[int, int, int, int],
+) -> tuple[list[int], float, tuple[int, int, int]]:
+    """Prune the kd-node frontier of one tile at the top of the tree.
 
-    # Tiles are half-open pixel index ranges [ix0, ix1) x [iy0, iy1).
-    stack: list[tuple[int, int, int, int, int]] = [(0, nx, 0, ny, 0)]
+    Descends *nodes only* (the tile is fixed): pairs whose recursion rule
+    would next split the tile — or that are leaf-leaf — stop and join the
+    frontier; out-of-support and zero-weight nodes are dropped; pairs
+    already tight over the whole tile are folded into a scalar ``base``
+    added uniformly to every pixel of the tile.  Returns
+    ``(frontier, base, (pairs, pruned, accepted))``.
+    """
+    ix0, ix1, iy0, iy1 = tile
+    tx0, tx1 = xs[ix0], xs[ix1 - 1]
+    ty0, ty1 = ys[iy0], ys[iy1 - 1]
+    tile_is_leaf = (ix1 - ix0) <= _TILE_LEAF and (iy1 - iy0) <= _TILE_LEAF
+    tile_extent = max(tx1 - tx0, ty1 - ty0)
+
+    node_min = tree.node_min
+    node_max = tree.node_max
+    wsum = tree.node_weight_sum
+
+    frontier: list[int] = []
+    base = 0.0
+    pairs = pruned = accepted = 0
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        pairs += 1
+        w_node = wsum[node]
+        if w_node == 0.0:
+            pruned += 1
+            continue
+        nmin = node_min[node]
+        nmax = node_max[node]
+        dmin, dmax = _box_distance_bounds(
+            tx0, tx1, ty0, ty1, nmin[0], nmax[0], nmin[1], nmax[1]
+        )
+        k_hi = float(kernel.evaluate(dmin, bandwidth))
+        if k_hi == 0.0:
+            pruned += 1
+            continue
+        k_lo = float(kernel.evaluate(dmax, bandwidth))
+        if k_hi - k_lo <= per_w_tol:
+            base += w_node * (0.5 * (k_hi + k_lo))
+            accepted += 1
+            continue
+        node_is_leaf = tree.is_leaf(node)
+        node_extent = float(max(nmax[0] - nmin[0], nmax[1] - nmin[1]))
+        split_tile = not tile_is_leaf and (node_is_leaf or tile_extent >= node_extent)
+        if split_tile or node_is_leaf:
+            # The recursion would split the tile next (or scan leaf-leaf):
+            # either way the execute job owns it from here.
+            frontier.append(node)
+            continue
+        left, right = tree.children(node)
+        stack.append(left)
+        stack.append(right)
+    return frontier, base, (pairs, pruned, accepted)
+
+
+def _refine_tile(
+    tree: KDTree,
+    kernel,
+    bandwidth: float,
+    per_w_tol: float,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    tile: tuple[int, int, int, int],
+    frontier: list[int],
+    base: float,
+) -> tuple[np.ndarray, tuple[int, int, int, int, int]]:
+    """Execute-phase job: fully refine one tile against its frontier.
+
+    Runs the classic dual-tree recursion restricted to the tile,
+    accumulating into a local ``(tile_w, tile_h)`` array seeded with the
+    plan's bulk-accepted ``base``.  Module-level (and argument-picklable)
+    so the job runs on any :mod:`repro.parallel` backend.  Returns the
+    local array and a counter tuple
+    ``(pairs, pruned, accepted, leaf_scans, points_touched)``.
+    """
+    jx0, jx1, jy0, jy1 = tile
+    local = np.full((jx1 - jx0, jy1 - jy0), base, dtype=np.float64)
+    b = bandwidth
+    node_min = tree.node_min
+    node_max = tree.node_max
+    wsum = tree.node_weight_sum
+
+    pairs = pruned = accepted = leaf_scans = points = 0
+    stack: list[tuple[int, int, int, int, int]] = [
+        (jx0, jx1, jy0, jy1, node) for node in reversed(frontier)
+    ]
     while stack:
         ix0, ix1, iy0, iy1, node = stack.pop()
+        pairs += 1
+        w_node = wsum[node]
+        if w_node == 0.0:
+            pruned += 1
+            continue
         tx0, tx1 = xs[ix0], xs[ix1 - 1]
         ty0, ty1 = ys[iy0], ys[iy1 - 1]
-        nmin = tree.node_min[node]
-        nmax = tree.node_max[node]
+        nmin = node_min[node]
+        nmax = node_max[node]
         dmin, dmax = _box_distance_bounds(
             tx0, tx1, ty0, ty1, nmin[0], nmax[0], nmin[1], nmax[1]
         )
         k_hi = float(kernel.evaluate(dmin, b))
         if k_hi == 0.0:
+            pruned += 1
             continue  # the whole pair is outside the kernel support
         k_lo = float(kernel.evaluate(dmax, b))
-        count = tree.node_count(node)
-        if k_hi - k_lo <= per_point_tol:
-            values[ix0:ix1, iy0:iy1] += count * 0.5 * (k_hi + k_lo)
+        if k_hi - k_lo <= per_w_tol:
+            local[ix0 - jx0:ix1 - jx0, iy0 - jy0:iy1 - jy0] += (
+                w_node * (0.5 * (k_hi + k_lo))
+            )
+            accepted += 1
             continue
 
         tile_w = ix1 - ix0
@@ -109,12 +284,18 @@ def kde_dualtree(
 
         if node_is_leaf and tile_is_leaf:
             block = tree.node_points(node)
+            w = tree.node_point_weights(node)
             gx = xs[ix0:ix1][:, None, None]
             gy = ys[iy0:iy1][None, :, None]
             d2 = (gx - block[:, 0][None, None, :]) ** 2 + (
                 gy - block[:, 1][None, None, :]
             ) ** 2
-            values[ix0:ix1, iy0:iy1] += kernel.evaluate_sq(d2, b).sum(axis=2)
+            vals = kernel.evaluate_sq(d2, b)
+            if w is not None:
+                vals = vals * w[None, None, :]
+            local[ix0 - jx0:ix1 - jx0, iy0 - jy0:iy1 - jy0] += vals.sum(axis=2)
+            leaf_scans += 1
+            points += block.shape[0]
             continue
 
         # Split whichever side is wider (in coordinate units).
@@ -134,4 +315,102 @@ def kde_dualtree(
             left, right = tree.children(node)
             stack.append((ix0, ix1, iy0, iy1, left))
             stack.append((ix0, ix1, iy0, iy1, right))
-    return problem.make_grid(values)
+    return local, (pairs, pruned, accepted, leaf_scans, points)
+
+
+def kde_dualtree(
+    problem: KDVProblem,
+    tau: float = 1e-3,
+    leaf_size: int = 32,
+    workers: int | None = None,
+    backend: str | None = None,
+):
+    """KDV with per-pixel absolute error at most ``tau / 2``.
+
+    Parameters
+    ----------
+    problem:
+        The KDV instance.  Per-point weights are supported: node weight
+        sums replace point counts as the bound multipliers and the error
+        budget is spent against the total weight.
+    tau:
+        Absolute error budget; ``0`` gives exact evaluation through
+        leaf-leaf scans.  A good default for visualisation is a small
+        fraction of the expected peak (e.g. ``1e-3 * n * K_max``) — but
+        even ``tau ~ 1`` is invisible on a colour-mapped heatmap.
+    leaf_size:
+        kd-tree leaf size.
+    workers, backend:
+        Worker count and executor backend for the execute phase (see
+        :mod:`repro.parallel`; ``None`` uses the shared defaults).  The
+        refinement loop is Python-bound, so the ``process`` backend is
+        the one that buys multi-core speedup; any combination returns
+        bit-identical values.
+
+    Returns
+    -------
+    :class:`~repro.raster.DensityGrid` with a :class:`RefinementStats`
+    record attached as ``grid.stats``.
+    """
+    tau = check_non_negative(tau, "tau")
+
+    t_plan = perf_counter()
+    tree = KDTree(problem.points, leaf_size=leaf_size, weights=problem.weights)
+    kernel = problem.kernel
+    b = problem.bandwidth
+    nx, ny = problem.nx, problem.ny
+    values = np.zeros((nx, ny), dtype=np.float64)
+
+    total_weight = tree.total_weight
+    if total_weight == 0.0:
+        # Zero total mass: the density is identically zero everywhere.
+        stats = RefinementStats(0, 0, 0, 0, 0, 0, 0,
+                                perf_counter() - t_plan, 0.0)
+        return problem.make_grid(values, stats=stats)
+    per_w_tol = tau / total_weight
+
+    xs, ys = problem.pixel_centers()
+    tiles = _partition_tiles(nx, ny, _PLAN_TILE_CAP)
+
+    pairs = pruned = accepted = 0
+    jobs: list[tuple] = []
+    job_tiles: list[tuple[int, int, int, int]] = []
+    for tile in tiles:
+        frontier, base, (t_pairs, t_pruned, t_accepted) = _plan_tile(
+            tree, kernel, b, per_w_tol, xs, ys, tile
+        )
+        pairs += t_pairs
+        pruned += t_pruned
+        accepted += t_accepted
+        if frontier:
+            jobs.append((tree, kernel, b, per_w_tol, xs, ys, tile, frontier, base))
+            job_tiles.append(tile)
+        elif base != 0.0:
+            ix0, ix1, iy0, iy1 = tile
+            values[ix0:ix1, iy0:iy1] = base
+    plan_seconds = perf_counter() - t_plan
+
+    t_exec = perf_counter()
+    leaf_scans = points = 0
+    results = parallel_starmap(_refine_tile, jobs, workers=workers, backend=backend)
+    for (ix0, ix1, iy0, iy1), (local, counters) in zip(job_tiles, results):
+        values[ix0:ix1, iy0:iy1] = local
+        pairs += counters[0]
+        pruned += counters[1]
+        accepted += counters[2]
+        leaf_scans += counters[3]
+        points += counters[4]
+    execute_seconds = perf_counter() - t_exec
+
+    stats = RefinementStats(
+        pairs_visited=pairs,
+        pairs_pruned=pruned,
+        tiles_bulk_accepted=accepted,
+        leaf_leaf_scans=leaf_scans,
+        points_touched=points,
+        n_tiles=len(tiles),
+        n_jobs=len(jobs),
+        plan_seconds=plan_seconds,
+        execute_seconds=execute_seconds,
+    )
+    return problem.make_grid(values, stats=stats)

@@ -11,6 +11,13 @@ The tree supports the three access patterns the analytics layer needs:
 
 Nodes are stored in flat NumPy arrays (structure-of-arrays) and points are
 reordered once at build time, so leaf scans are contiguous slices.
+
+Trees may carry optional per-point **weights**: every node then exposes
+the total weight below it (``node_weight_sum``), which lets weighted
+density bounds replace point counts as the bound multipliers
+(``W_node * K(dmax) <= contribution <= W_node * K(dmin)``).  Unweighted
+trees expose the point counts through the same array, so traversal code
+never branches on weightedness.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ import heapq
 
 import numpy as np
 
-from .._validation import as_points, check_positive
+from .._validation import as_points, as_weights, check_positive
 from ..errors import ParameterError
 
 __all__ = ["KDTree"]
@@ -37,14 +44,23 @@ class KDTree:
     leaf_size:
         Maximum number of points in a leaf; smaller leaves mean deeper trees
         (better pruning, more overhead).  16-64 is a good range.
+    weights:
+        Optional per-point non-negative weights.  When given, every node
+        carries the total weight of the points below it
+        (:attr:`node_weight_sum`); when omitted the same array holds the
+        point counts, so weighted and unweighted traversals share code.
     """
 
-    def __init__(self, points, leaf_size: int = 32):
+    def __init__(self, points, leaf_size: int = 32, weights=None):
         self.points = as_points(points)
         leaf_size = int(leaf_size)
         if leaf_size < 1:
             raise ParameterError(f"leaf_size must be >= 1, got {leaf_size}")
         self.leaf_size = leaf_size
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = as_weights(weights, self.points.shape[0])
 
         n = self.points.shape[0]
         self.indices = np.arange(n, dtype=np.int64)
@@ -105,6 +121,26 @@ class KDTree:
         self.node_max = np.asarray(maxs, dtype=np.float64)
         self._sorted_points = self.points[self.indices]
 
+        # Per-node weight totals, bottom-up so an internal node's sum is
+        # exactly left + right (children are appended after their parent,
+        # so a reverse scan sees both children first).  Unit weights
+        # reproduce the integer point counts bit-for-bit.
+        n_nodes = len(starts)
+        wsum = np.empty(n_nodes, dtype=np.float64)
+        if self.weights is None:
+            self._sorted_weights = None
+            wsum[:] = self.node_stop - self.node_start
+        else:
+            self._sorted_weights = self.weights[self.indices]
+            for node in range(n_nodes - 1, -1, -1):
+                if lefts[node] == _NO_CHILD:
+                    wsum[node] = self._sorted_weights[
+                        starts[node]:stops[node]
+                    ].sum()
+                else:
+                    wsum[node] = wsum[lefts[node]] + wsum[rights[node]]
+        self.node_weight_sum = wsum
+
     # -- node-level API (used by bound-based KDV) ---------------------------
 
     @property
@@ -114,6 +150,26 @@ class KDTree:
     def node_count(self, node: int) -> int:
         """Number of points stored under ``node``."""
         return int(self.node_stop[node] - self.node_start[node])
+
+    def node_weight(self, node: int) -> float:
+        """Total weight below ``node`` (the point count when unweighted)."""
+        return float(self.node_weight_sum[node])
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight of the whole tree (``n`` when unweighted)."""
+        return float(self.node_weight_sum[0])
+
+    def node_point_weights(self, node: int) -> np.ndarray | None:
+        """Weights of the points under ``node`` in leaf-scan order.
+
+        Returns ``None`` for unweighted trees so exact leaf scans can skip
+        the multiply entirely (and unit-weight trees stay bit-identical to
+        count-based ones).
+        """
+        if self._sorted_weights is None:
+            return None
+        return self._sorted_weights[self.node_start[node]:self.node_stop[node]]
 
     def is_leaf(self, node: int) -> bool:
         return self.node_left[node] == _NO_CHILD

@@ -20,10 +20,17 @@ __all__ = ["DensityGrid"]
 
 @dataclass(frozen=True)
 class DensityGrid:
-    """Raster of per-pixel values over a bounding box."""
+    """Raster of per-pixel values over a bounding box.
+
+    ``stats`` is an optional observability record attached by the backend
+    that produced the grid (e.g. the dual-tree KDV backend's
+    ``RefinementStats``); it is ``None`` for backends that do not report
+    one and never participates in numeric behaviour.
+    """
 
     bbox: BoundingBox
     values: np.ndarray
+    stats: object | None = None
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.values, dtype=np.float64)

@@ -107,6 +107,48 @@ class TestKdvCommand:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("tau", ["-1", "-0.5", "nan", "lots"])
+    def test_negative_or_bad_tau_rejected(self, tau, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["kdv", "x.csv", "--bandwidth", "2", "--method", "dualtree",
+                 f"--tau={tau}"]
+            )
+        assert exc.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_tau_with_dualtree_runs(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "32x24",
+             "--method", "dualtree", "--tau", "0.5", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak density" in out
+        assert "refinement:" in out  # the RefinementStats line
+
+    def test_tau_zero_accepted(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "16x12",
+             "--method", "dualtree", "--tau", "0"]
+        )
+        assert code == 0
+
+    def test_tau_with_other_method_is_clear_error(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5",
+             "--method", "grid", "--tau", "0.5"]
+        )
+        assert code == 1
+        assert "tau" in capsys.readouterr().err
+
+    def test_backend_flag_dualtree(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "16x12",
+             "--method", "dualtree", "--backend", "serial"]
+        )
+        assert code == 0
+
     def test_omitted_workers_defers_to_env_default(self, events_csv, capsys,
                                                    monkeypatch):
         """No --workers must consult REPRO_WORKERS, as --help promises."""

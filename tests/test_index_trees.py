@@ -70,6 +70,64 @@ class TestTreeRangeQueries:
             tree_cls(random_points, leaf_size=0)
 
 
+class TestKDTreeWeights:
+    """Per-node weight sums for the weighted dual-tree bounds."""
+
+    def test_unweighted_sums_are_counts(self, random_points):
+        tree = KDTree(random_points, leaf_size=8)
+        counts = [tree.node_count(n) for n in range(tree.n_nodes)]
+        assert tree.weights is None
+        assert np.array_equal(tree.node_weight_sum, np.asarray(counts, float))
+        assert tree.total_weight == random_points.shape[0]
+        assert tree.node_point_weights(0) is None
+
+    def test_root_sum_is_total_weight(self, random_points, rng):
+        w = rng.uniform(0.0, 5.0, size=random_points.shape[0])
+        tree = KDTree(random_points, leaf_size=8, weights=w)
+        assert tree.total_weight == pytest.approx(w.sum(), rel=1e-12)
+        assert tree.node_weight(0) == tree.total_weight
+
+    def test_internal_sum_is_children_sum(self, random_points, rng):
+        w = rng.uniform(0.0, 5.0, size=random_points.shape[0])
+        tree = KDTree(random_points, leaf_size=8, weights=w)
+        for node in range(tree.n_nodes):
+            if tree.is_leaf(node):
+                continue
+            left, right = tree.children(node)
+            assert tree.node_weight(node) == (
+                tree.node_weight(left) + tree.node_weight(right)
+            )
+
+    def test_node_sum_matches_member_weights(self, random_points, rng):
+        w = rng.uniform(0.0, 5.0, size=random_points.shape[0])
+        tree = KDTree(random_points, leaf_size=8, weights=w)
+        for node in range(tree.n_nodes):
+            members = tree.node_point_indices(node)
+            assert tree.node_weight(node) == pytest.approx(
+                w[members].sum(), rel=1e-12, abs=1e-12
+            )
+            sorted_w = tree.node_point_weights(node)
+            assert np.array_equal(sorted_w, w[members])
+
+    def test_unit_weights_bit_equal_counts(self, random_points):
+        plain = KDTree(random_points, leaf_size=8)
+        unit = KDTree(
+            random_points, leaf_size=8, weights=np.ones(random_points.shape[0])
+        )
+        assert np.array_equal(unit.node_weight_sum, plain.node_weight_sum)
+
+    def test_rejects_bad_weights(self, random_points):
+        n = random_points.shape[0]
+        with pytest.raises(ParameterError, match="length"):
+            KDTree(random_points, weights=np.ones(n - 1))
+        with pytest.raises(ParameterError, match="non-negative"):
+            KDTree(random_points, weights=np.full(n, -1.0))
+        bad = np.ones(n)
+        bad[0] = np.nan
+        with pytest.raises(ParameterError, match="finite"):
+            KDTree(random_points, weights=bad)
+
+
 class TestKDTreeSpecific:
     def test_neighbor_distances(self, random_points):
         tree = KDTree(random_points)

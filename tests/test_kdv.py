@@ -255,6 +255,90 @@ class TestKdeGridAPI:
         assert grid.bbox is bbox
 
 
+class TestKdeGridParameterAudit:
+    """Method-specific keywords error instead of being silently ignored.
+
+    One test per decided parameter/method combination: either the
+    combination raises a clear ParameterError, or its acceptance is the
+    documented behaviour and is asserted to work.
+    """
+
+    def test_tau_with_non_dualtree_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="tau.*dualtree"):
+            kde_grid(small_points, bbox, SIZE, BW, method="naive", tau=0.1)
+
+    def test_tau_with_auto_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="tau"):
+            kde_grid(small_points, bbox, SIZE, BW, tau=0.1)
+
+    def test_eps_with_dualtree_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="eps"):
+            kde_grid(small_points, bbox, SIZE, BW, method="dualtree", eps=0.1)
+
+    def test_eps_with_bounds_and_sampling_accepted(self, small_points, bbox):
+        kde_grid(small_points, bbox, SIZE, BW, method="bounds", eps=0.2)
+        kde_grid(small_points, bbox, SIZE, BW, method="sampling", eps=0.2)
+
+    def test_delta_with_bounds_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="delta.*sampling"):
+            kde_grid(small_points, bbox, SIZE, BW, method="bounds", delta=0.1)
+
+    def test_sample_with_grid_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="sample"):
+            kde_grid(small_points, bbox, SIZE, BW, method="grid", sample=10)
+
+    def test_seed_with_sweep_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="seed.*sampling"):
+            kde_grid(small_points, bbox, SIZE, BW, method="sweep", seed=1)
+
+    def test_seed_with_sampling_accepted(self, small_points, bbox):
+        kde_grid(small_points, bbox, SIZE, BW, method="sampling", seed=1)
+
+    def test_index_with_dualtree_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="index.*bounds"):
+            kde_grid(small_points, bbox, SIZE, BW, method="dualtree",
+                     index="balltree")
+
+    def test_workers_with_grid_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="workers"):
+            kde_grid(small_points, bbox, SIZE, BW, method="grid", workers=2)
+
+    def test_backend_with_naive_raises(self, small_points, bbox):
+        with pytest.raises(ParameterError, match="backend"):
+            kde_grid(small_points, bbox, SIZE, BW, method="naive",
+                     backend="thread")
+
+    def test_workers_with_dualtree_and_parallel_accepted(self, small_points, bbox):
+        kde_grid(small_points, bbox, SIZE, BW, method="dualtree", workers=2)
+        kde_grid(small_points, bbox, SIZE, BW, method="parallel", workers=2)
+
+    def test_weights_with_bounds_raises(self, small_points, bbox, rng):
+        w = rng.uniform(size=small_points.shape[0])
+        with pytest.raises(ParameterError, match="weights"):
+            kde_grid(small_points, bbox, SIZE, BW, method="bounds", weights=w)
+
+    def test_weights_with_sampling_raises(self, small_points, bbox, rng):
+        w = rng.uniform(size=small_points.shape[0])
+        with pytest.raises(ParameterError, match="weights"):
+            kde_grid(small_points, bbox, SIZE, BW, method="sampling", weights=w)
+
+    @pytest.mark.parametrize(
+        "method", ["naive", "grid", "sweep", "parallel", "adaptive",
+                   "dualtree", "auto"]
+    )
+    def test_weights_accepted_everywhere_else(self, method, small_points,
+                                              bbox, rng):
+        w = rng.uniform(0.5, 1.5, size=small_points.shape[0])
+        grid = kde_grid(small_points, bbox, SIZE, BW, method=method, weights=w)
+        assert grid.values.max() > 0.0
+
+    def test_defaults_never_trigger_the_audit(self, small_points, bbox):
+        """All-default keywords must work with every method."""
+        for method in ("naive", "grid", "sweep", "bounds", "dualtree",
+                       "sampling", "parallel", "adaptive", "auto"):
+            kde_grid(small_points, bbox, (8, 6), BW, method=method)
+
+
 class TestEffectiveRadius:
     def test_finite_kernel_keeps_support(self):
         assert effective_radius(KERNELS["quartic"], 3.0) == 3.0

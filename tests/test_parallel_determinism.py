@@ -238,6 +238,49 @@ class TestFixedPartitionDeterminism:
             np.testing.assert_allclose(got.values, ref.values, rtol=0, atol=0)
 
 
+class TestDualTreeDeterminism:
+    """The dual-tree plan phase fixes the tile partition from grid
+    geometry alone, so refinement output is bit-identical for every
+    worker count and backend — weighted or not."""
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_dualtree_bit_identical(self, crime, weighted):
+        from repro.core.kdv import kde_grid
+
+        weights = None
+        if weighted:
+            weights = np.random.default_rng(SEED).uniform(
+                0.0, 3.0, size=crime.points.shape[0]
+            )
+        ref = kde_grid(
+            crime.points, crime.bbox, (48, 32), 2.0, method="dualtree",
+            tau=0.2, weights=weights, workers=1, backend="serial",
+        )
+        for workers, backend in _grid() + [(4, "serial")]:
+            got = kde_grid(
+                crime.points, crime.bbox, (48, 32), 2.0, method="dualtree",
+                tau=0.2, weights=weights, workers=workers, backend=backend,
+            )
+            assert np.array_equal(got.values, ref.values)
+
+    def test_dualtree_stats_worker_invariant(self, crime):
+        """Counters describe the same refinement no matter the pool."""
+        from repro.core.kdv import kde_grid
+
+        ref = kde_grid(crime.points, crime.bbox, (48, 32), 2.0,
+                       method="dualtree", tau=0.2, workers=1,
+                       backend="serial").stats
+        got = kde_grid(crime.points, crime.bbox, (48, 32), 2.0,
+                       method="dualtree", tau=0.2, workers=4,
+                       backend="thread").stats
+        assert got.pairs_visited == ref.pairs_visited
+        assert got.tiles_bulk_accepted == ref.tiles_bulk_accepted
+        assert got.leaf_leaf_scans == ref.leaf_leaf_scans
+        assert got.points_touched == ref.points_touched
+        assert got.n_tiles == ref.n_tiles
+        assert got.n_jobs == ref.n_jobs
+
+
 class TestSeedConvention:
     def test_int_and_seedsequence_agree(self, crime):
         ts = np.linspace(0.5, 3.0, 4)
