@@ -13,6 +13,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     error_discipline,
     kernel_contracts,
     parallel_discipline,
+    timing_discipline,
     validation_contracts,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "error_discipline",
     "kernel_contracts",
     "parallel_discipline",
+    "timing_discipline",
     "validation_contracts",
 ]

@@ -17,12 +17,14 @@ format of :mod:`repro.data.io`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from . import data as data_mod
+from . import obs
 from .core.kdv import kde_grid
 from .core.kfunction import k_function_plot
 from .core.pipeline import HotspotAnalysis
@@ -85,13 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="write a synthetic dataset CSV")
+    # Observability flags shared by every subcommand (repro.obs).
+    trace_parent = argparse.ArgumentParser(add_help=False)
+    trace_parent.add_argument(
+        "--trace", action="store_true",
+        help="collect a span/counter trace of the run and print the tree "
+             "(see docs/OBSERVABILITY.md); deterministic for any --workers",
+    )
+    trace_parent.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="also dump the trace as JSON to PATH (implies --trace)",
+    )
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset CSV",
+                         parents=[trace_parent])
     gen.add_argument("dataset", choices=["covid", "crime", "taxi"])
     gen.add_argument("--n", type=int, default=4000, help="number of events")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True, help="output CSV path")
 
-    kdv = sub.add_parser("kdv", help="render a KDV heatmap from a CSV")
+    kdv = sub.add_parser("kdv", help="render a KDV heatmap from a CSV",
+                         parents=[trace_parent])
     kdv.add_argument("input", help="CSV of x,y[,t] events")
     kdv.add_argument("--bandwidth", type=float, required=True)
     kdv.add_argument("--kernel", default="quartic")
@@ -117,7 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
              "(per-pixel error <= tau/2; 0 = exact; default 1e-3)",
     )
 
-    kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes")
+    kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes",
+                         parents=[trace_parent])
     kfn.add_argument("input")
     kfn.add_argument("--thresholds", type=int, default=12, help="threshold count")
     kfn.add_argument("--max-threshold", type=float, default=None)
@@ -131,7 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for CSR envelope simulations (default: REPRO_WORKERS)",
     )
 
-    hot = sub.add_parser("hotspots", help="end-to-end hotspot analysis")
+    hot = sub.add_parser("hotspots", help="end-to-end hotspot analysis",
+                         parents=[trace_parent])
     hot.add_argument("input")
     hot.add_argument("--size", type=_parse_size, default=(192, 128))
     hot.add_argument("--simulations", type=int, default=39)
@@ -144,12 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     screen = sub.add_parser(
-        "csrtest", help="cheap CSR screens: quadrat chi-square + Clark-Evans"
+        "csrtest", help="cheap CSR screens: quadrat chi-square + Clark-Evans",
+        parents=[trace_parent],
     )
     screen.add_argument("input")
     screen.add_argument("--quadrats", type=_parse_size, default=(5, 5))
 
-    st = sub.add_parser("stkdv", help="spatiotemporal KDV frames (needs x,y,t)")
+    st = sub.add_parser("stkdv", help="spatiotemporal KDV frames (needs x,y,t)",
+                        parents=[trace_parent])
     st.add_argument("input")
     st.add_argument("--frames", type=_positive_int, default=6)
     st.add_argument("--bandwidth-space", type=float, required=True)
@@ -202,8 +222,12 @@ def _cmd_kdv(args) -> int:
         f"kernel={args.kernel}, b={args.bandwidth:g}; peak density {grid.max:.4g} "
         f"at ({grid.argmax_coords()[0]:.3g}, {grid.argmax_coords()[1]:.3g})"
     )
-    if grid.stats is not None:
-        s = grid.stats
+    refinement = (
+        grid.diagnostics.records.get("refinement")
+        if grid.diagnostics is not None else None
+    )
+    if refinement is not None:
+        s = refinement
         print(
             f"refinement: {s.pairs_visited} pairs, {s.tiles_bulk_accepted} bulk "
             f"accepts, {s.leaf_leaf_scans} leaf scans ({s.points_touched} points), "
@@ -316,11 +340,29 @@ _COMMANDS = {
 }
 
 
+def _run_traced(args) -> int:
+    """Run one subcommand under a fresh collector, then print the trace."""
+    collector = obs.Collector()
+    with obs.activate(collector):
+        code = _COMMANDS[args.command](args)
+    diagnostics = collector.diagnostics()
+    print("\ntrace:")
+    print(diagnostics.format_tree())
+    if args.trace_json:
+        Path(args.trace_json).write_text(
+            json.dumps(diagnostics.as_dict(), indent=2, sort_keys=True)
+        )
+        print(f"trace JSON written to {args.trace_json}")
+    return code
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "trace", False) or getattr(args, "trace_json", None):
+            return _run_traced(args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_values
 from ...errors import DataError
 from ...parallel import parallel_map, spawn_rngs
@@ -38,6 +39,7 @@ class GearyCResult:
     p_value: float  # two-sided, normality assumption
     p_permutation: float | None
     n_permutations: int
+    diagnostics: "obs.Diagnostics | None" = None
 
     @property
     def positive_autocorrelation(self) -> bool:
@@ -58,6 +60,7 @@ def _weighted_square_diffs(weights: SpatialWeights, z: np.ndarray) -> float:
 def _geary_perm_task(task):
     """One Geary permutation draw: is it at least as extreme as observed?"""
     rng, z, weights, n, s0, observed = task
+    obs.count("geary.permutations")
     perm = rng.permutation(z)
     pc = perm - perm.mean()
     sim = (
@@ -103,30 +106,35 @@ def gearys_c(
             / (2.0 * s0 * float(vc @ vc))
         )
 
-    observed = stat(z)
+    with obs.task("geary") as trace:
+        obs.count("geary.sites", n)
+        observed = stat(z)
 
-    # Cliff-Ord variance under normality.
-    s1 = weights.s1()
-    s2 = weights.s2()
-    var = ((2.0 * s1 + s2) * (n - 1.0) - 4.0 * s0 * s0) / (
-        2.0 * (n + 1.0) * s0 * s0
-    )
-    if var <= 0.0:
-        raise DataError("degenerate weight structure: non-positive Geary variance")
-    z_score = (observed - 1.0) / np.sqrt(var)
-    p_value = 2.0 * float(_normal_sf(abs(z_score)))
-
-    p_perm = None
-    permutations = int(permutations)
-    if permutations > 0:
-        tasks = [
-            (rng, z, weights, n, s0, observed)
-            for rng in spawn_rngs(seed, permutations)
-        ]
-        flags = parallel_map(
-            _geary_perm_task, tasks, workers=workers, backend=backend, chunksize=16
+        # Cliff-Ord variance under normality.
+        s1 = weights.s1()
+        s2 = weights.s2()
+        var = ((2.0 * s1 + s2) * (n - 1.0) - 4.0 * s0 * s0) / (
+            2.0 * (n + 1.0) * s0 * s0
         )
-        p_perm = (sum(flags) + 1) / (permutations + 1)
+        if var <= 0.0:
+            raise DataError(
+                "degenerate weight structure: non-positive Geary variance"
+            )
+        z_score = (observed - 1.0) / np.sqrt(var)
+        p_value = 2.0 * float(_normal_sf(abs(z_score)))
+
+        p_perm = None
+        permutations = int(permutations)
+        if permutations > 0:
+            tasks = [
+                (rng, z, weights, n, s0, observed)
+                for rng in spawn_rngs(seed, permutations)
+            ]
+            flags = parallel_map(
+                _geary_perm_task, tasks, workers=workers, backend=backend,
+                chunksize=16,
+            )
+            p_perm = (sum(flags) + 1) / (permutations + 1)
 
     return GearyCResult(
         statistic=float(observed),
@@ -136,4 +144,5 @@ def gearys_c(
         p_value=min(p_value, 1.0),
         p_permutation=p_perm,
         n_permutations=permutations,
+        diagnostics=trace.diagnostics,
     )

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_values
 from ...errors import DataError, ParameterError
 from ...parallel import parallel_map, spawn_rngs
@@ -42,7 +43,12 @@ def _normal_sf(z: np.ndarray) -> np.ndarray:
 
 @dataclass(frozen=True)
 class MoranResult:
-    """Global Moran's I with analytic and permutation inference."""
+    """Global Moran's I with analytic and permutation inference.
+
+    ``diagnostics`` carries the :class:`repro.obs.Diagnostics` of the
+    producing call (permutation counters etc.); ``None`` when tracing
+    was disabled.
+    """
 
     statistic: float
     expected: float
@@ -51,6 +57,7 @@ class MoranResult:
     p_value: float  # two-sided, normality assumption
     p_permutation: float | None  # one-sided pseudo p-value (if permutations ran)
     n_permutations: int
+    diagnostics: "obs.Diagnostics | None" = None
 
     @property
     def is_clustered(self) -> bool:
@@ -61,6 +68,7 @@ class MoranResult:
 def _moran_perm_task(task):
     """One Moran permutation draw: is the permuted I >= observed?"""
     rng, z, weights, n, s0, observed = task
+    obs.count("moran.permutations")
     perm = rng.permutation(z)
     pc = perm - perm.mean()
     sim = (n / s0) * float(pc @ weights.lag(pc)) / float(pc @ pc)
@@ -94,33 +102,38 @@ def morans_i(
     def stat(vec_c: np.ndarray) -> float:
         return (n / s0) * float(vec_c @ weights.lag(vec_c)) / float(vec_c @ vec_c)
 
-    observed = stat(zc)
-    expected = -1.0 / (n - 1)
+    with obs.task("moran") as trace:
+        obs.count("moran.sites", n)
+        observed = stat(zc)
+        expected = -1.0 / (n - 1)
 
-    # Cliff-Ord variance under normality.
-    s1 = weights.s1()
-    s2 = weights.s2()
-    var = (
-        (n * n * s1 - n * s2 + 3.0 * s0 * s0)
-        / ((n * n - 1.0) * s0 * s0)
-        - expected * expected
-    )
-    if var <= 0.0:
-        raise DataError("degenerate weight structure: non-positive Moran variance")
-    z_score = (observed - expected) / np.sqrt(var)
-    p_value = 2.0 * float(_normal_sf(abs(z_score)))
-
-    p_perm = None
-    permutations = int(permutations)
-    if permutations > 0:
-        tasks = [
-            (rng, z, weights, n, s0, observed)
-            for rng in spawn_rngs(seed, permutations)
-        ]
-        flags = parallel_map(
-            _moran_perm_task, tasks, workers=workers, backend=backend, chunksize=16
+        # Cliff-Ord variance under normality.
+        s1 = weights.s1()
+        s2 = weights.s2()
+        var = (
+            (n * n * s1 - n * s2 + 3.0 * s0 * s0)
+            / ((n * n - 1.0) * s0 * s0)
+            - expected * expected
         )
-        p_perm = (sum(flags) + 1) / (permutations + 1)
+        if var <= 0.0:
+            raise DataError(
+                "degenerate weight structure: non-positive Moran variance"
+            )
+        z_score = (observed - expected) / np.sqrt(var)
+        p_value = 2.0 * float(_normal_sf(abs(z_score)))
+
+        p_perm = None
+        permutations = int(permutations)
+        if permutations > 0:
+            tasks = [
+                (rng, z, weights, n, s0, observed)
+                for rng in spawn_rngs(seed, permutations)
+            ]
+            flags = parallel_map(
+                _moran_perm_task, tasks, workers=workers, backend=backend,
+                chunksize=16,
+            )
+            p_perm = (sum(flags) + 1) / (permutations + 1)
 
     return MoranResult(
         statistic=observed,
@@ -130,6 +143,7 @@ def morans_i(
         p_value=min(p_value, 1.0),
         p_permutation=p_perm,
         n_permutations=permutations,
+        diagnostics=trace.diagnostics,
     )
 
 
@@ -140,6 +154,7 @@ class LocalMoranResult:
     statistics: np.ndarray
     p_values: np.ndarray  # permutation pseudo p-values (one-sided)
     labels: list[str]  # HH / LL / HL / LH / ns
+    diagnostics: "obs.Diagnostics | None" = None
 
     def significant_mask(self, alpha: float = 0.05) -> np.ndarray:
         return self.p_values < alpha
@@ -148,6 +163,7 @@ class LocalMoranResult:
 def _local_moran_site_task(task):
     """Conditional permutation inference for one location (module-level)."""
     rng, i, zc, weights, m2, stat_i, permutations = task
+    obs.count("moran.permutations", permutations)
     cols, w = weights.row(i)
     k = cols.shape[0]
     if k == 0:
@@ -194,13 +210,16 @@ def local_morans_i(
     lag = weights.lag(zc)
     stats = zc * lag / m2
 
-    tasks = [
-        (rng, i, zc, weights, m2, float(stats[i]), permutations)
-        for i, rng in enumerate(spawn_rngs(seed, n))
-    ]
-    site_results = parallel_map(
-        _local_moran_site_task, tasks, workers=workers, backend=backend, chunksize=8
-    )
+    with obs.task("moran.local") as trace:
+        obs.count("moran.sites", n)
+        tasks = [
+            (rng, i, zc, weights, m2, float(stats[i]), permutations)
+            for i, rng in enumerate(spawn_rngs(seed, n))
+        ]
+        site_results = parallel_map(
+            _local_moran_site_task, tasks, workers=workers, backend=backend,
+            chunksize=8,
+        )
     p_values = np.array([p for p, _ in site_results], dtype=np.float64)
     lag_mean = np.array([m for _, m in site_results], dtype=np.float64)
 
@@ -216,4 +235,7 @@ def local_morans_i(
             labels.append("HL")
         else:
             labels.append("LH")
-    return LocalMoranResult(statistics=stats, p_values=p_values, labels=labels)
+    return LocalMoranResult(
+        statistics=stats, p_values=p_values, labels=labels,
+        diagnostics=trace.diagnostics,
+    )

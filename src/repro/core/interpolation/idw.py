@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_points, as_values, check_positive, chunk_ranges
 from ...errors import ParameterError
 from ...geometry import BoundingBox
@@ -58,6 +59,7 @@ def _weights_to_values(d2: np.ndarray, z: np.ndarray, power: float) -> np.ndarra
 def _idw_naive_block(task):
     """Naive IDW gather for one query block (module-level for pickling)."""
     block, pts, p_sq, z, power = task
+    obs.count("idw.queries", block.shape[0])
     d2 = (
         np.sum(block * block, axis=1)[:, None]
         + p_sq[None, :]
@@ -70,6 +72,7 @@ def _idw_naive_block(task):
 def _idw_knn_block(task):
     """kNN IDW for one query block via the shared kd-tree."""
     block, tree, z, power, k = task
+    obs.count("idw.queries", block.shape[0])
     out = np.empty(block.shape[0], dtype=np.float64)
     for j, row in enumerate(block):
         dists, idx = tree.knn(row, k)
@@ -81,6 +84,7 @@ def _idw_knn_block(task):
 def _idw_cutoff_block(task):
     """Cutoff IDW for one query block via the shared kd-tree."""
     block, tree, pts, z, power, radius = task
+    obs.count("idw.queries", block.shape[0])
     out = np.empty(block.shape[0], dtype=np.float64)
     for j, row in enumerate(block):
         idx = tree.range_indices(row, radius)
@@ -118,6 +122,10 @@ def idw_predict(
     z = as_values(values, pts.shape[0])
     q = as_points(queries, name="queries")
     power = check_positive(power, "power")
+
+    obs.count("idw.samples", pts.shape[0])
+    obs.count(f"idw.method.{method}" if method in IDW_METHODS else
+              "idw.method.unknown")
 
     if method == "naive":
         p_sq = np.sum(pts * pts, axis=1)
@@ -175,6 +183,7 @@ def _idw_grid_cutoff(points, values, bbox, nx, ny, power, radius):
     snap_val = np.zeros((nx, ny), dtype=np.float64)
     snap_hit = np.zeros((nx, ny), dtype=bool)
 
+    scatters = 0
     for row in range(pts.shape[0]):
         px, py = pts[row]
         ix_lo = max(int(np.ceil((px - radius - x0) / dx)), 0)
@@ -183,6 +192,7 @@ def _idw_grid_cutoff(points, values, bbox, nx, ny, power, radius):
         iy_hi = min(int(np.floor((py + radius - y0) / dy)), ny - 1)
         if ix_lo > ix_hi or iy_lo > iy_hi:
             continue
+        scatters += 1
         local_x = xs[ix_lo:ix_hi + 1] - px
         local_y = ys[iy_lo:iy_hi + 1] - py
         d2 = local_x[:, None] ** 2 + local_y[None, :] ** 2
@@ -201,6 +211,7 @@ def _idw_grid_cutoff(points, values, bbox, nx, ny, power, radius):
         num[patch] += w * z[row]
         den[patch] += w
 
+    obs.count("idw.scatters", scatters)
     out = np.empty((nx, ny), dtype=np.float64)
     covered = den > 0
     out[covered] = num[covered] / den[covered]
@@ -235,18 +246,21 @@ def idw_grid(
     honour ``workers``/``backend`` via :func:`idw_predict`).
     """
     nx, ny = int(size[0]), int(size[1])
-    if method == "cutoff":
-        if radius is None:
-            raise ParameterError("method='cutoff' requires a radius")
-        radius = check_positive(radius, "radius")
-        power = check_positive(power, "power")
-        vals = _idw_grid_cutoff(points, values, bbox, nx, ny, power, radius)
-        return DensityGrid(bbox, vals)
-    xs, ys = bbox.pixel_centers(nx, ny)
-    gx, gy = np.meshgrid(xs, ys, indexing="ij")
-    queries = np.column_stack([gx.ravel(), gy.ravel()])
-    pred = idw_predict(
-        points, values, queries, power=power, method=method, k=k, radius=radius,
-        workers=workers, backend=backend,
-    )
-    return DensityGrid(bbox, pred.reshape(nx, ny))
+    with obs.task("idw") as trace:
+        if method == "cutoff":
+            if radius is None:
+                raise ParameterError("method='cutoff' requires a radius")
+            radius = check_positive(radius, "radius")
+            power = check_positive(power, "power")
+            obs.count("idw.method.cutoff")
+            obs.count("idw.queries", nx * ny)
+            vals = _idw_grid_cutoff(points, values, bbox, nx, ny, power, radius)
+        else:
+            xs, ys = bbox.pixel_centers(nx, ny)
+            gx, gy = np.meshgrid(xs, ys, indexing="ij")
+            queries = np.column_stack([gx.ravel(), gy.ravel()])
+            vals = idw_predict(
+                points, values, queries, power=power, method=method, k=k,
+                radius=radius, workers=workers, backend=backend,
+            ).reshape(nx, ny)
+    return DensityGrid(bbox, vals, diagnostics=trace.diagnostics)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_points, as_values, chunk_ranges
 from ...errors import DataError, ParameterError
 from ...geometry import BoundingBox
@@ -45,11 +46,16 @@ _JITTER = 1e-10  # diagonal regularisation against near-duplicate samples
 
 @dataclass(frozen=True)
 class KrigingResult:
-    """Kriging predictions with their variances (and the model used)."""
+    """Kriging predictions with their variances (and the model used).
+
+    ``diagnostics`` carries the :class:`repro.obs.Diagnostics` of the
+    producing call; ``None`` when tracing was disabled.
+    """
 
     predictions: np.ndarray
     variances: np.ndarray
     model: VariogramModel
+    diagnostics: "obs.Diagnostics | None" = None
 
 
 def _solve_ok(
@@ -84,6 +90,8 @@ _QUERIES_PER_TASK = 256
 def _ok_global_block(task):
     """Global-neighbourhood OK for one query block (module-level)."""
     block, pts, z, cov_mat, model, sill = task
+    obs.count("kriging.queries", block.shape[0])
+    obs.count("kriging.systems_solved", block.shape[0])
     preds = np.empty(block.shape[0], dtype=np.float64)
     vars_ = np.empty(block.shape[0], dtype=np.float64)
     for j, row in enumerate(block):
@@ -95,6 +103,8 @@ def _ok_global_block(task):
 def _ok_local_block(task):
     """k-nearest-neighbourhood OK for one query block (module-level)."""
     block, pts, z, tree, model, sill, k = task
+    obs.count("kriging.queries", block.shape[0])
+    obs.count("kriging.systems_solved", block.shape[0])
     preds = np.empty(block.shape[0], dtype=np.float64)
     vars_ = np.empty(block.shape[0], dtype=np.float64)
     for j, row in enumerate(block):
@@ -134,28 +144,30 @@ def ordinary_kriging(
     sill = model.sill
     spans = chunk_ranges(q.shape[0], _QUERIES_PER_TASK)
 
-    if k_neighbors is None:
-        d_mat = np.sqrt(
-            ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
-        )
-        cov_mat = model.covariance(d_mat)
-        tasks = [(q[a:b], pts, z, cov_mat, model, sill) for a, b in spans]
-        blocks = parallel_map(
-            _ok_global_block, tasks, workers=workers, backend=backend
-        )
-    else:
-        k = int(k_neighbors)
-        if k < 2:
-            raise ParameterError(f"k_neighbors must be >= 2, got {k}")
-        k = min(k, n)
-        tree = KDTree(pts)
-        tasks = [(q[a:b], pts, z, tree, model, sill, k) for a, b in spans]
-        blocks = parallel_map(
-            _ok_local_block, tasks, workers=workers, backend=backend
-        )
-    preds = np.concatenate([p for p, _ in blocks])
-    vars_ = np.concatenate([v for _, v in blocks])
-    return KrigingResult(preds, vars_, model)
+    with obs.task("kriging") as trace:
+        obs.count("kriging.samples", n)
+        if k_neighbors is None:
+            d_mat = np.sqrt(
+                ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+            )
+            cov_mat = model.covariance(d_mat)
+            tasks = [(q[a:b], pts, z, cov_mat, model, sill) for a, b in spans]
+            blocks = parallel_map(
+                _ok_global_block, tasks, workers=workers, backend=backend
+            )
+        else:
+            k = int(k_neighbors)
+            if k < 2:
+                raise ParameterError(f"k_neighbors must be >= 2, got {k}")
+            k = min(k, n)
+            tree = KDTree(pts)
+            tasks = [(q[a:b], pts, z, tree, model, sill, k) for a, b in spans]
+            blocks = parallel_map(
+                _ok_local_block, tasks, workers=workers, backend=backend
+            )
+        preds = np.concatenate([p for p, _ in blocks])
+        vars_ = np.concatenate([v for _, v in blocks])
+    return KrigingResult(preds, vars_, model, diagnostics=trace.diagnostics)
 
 
 def simple_kriging(
@@ -322,6 +334,9 @@ def kriging_grid(
         pts, z, queries, model, k_neighbors=k_neighbors,
         workers=workers, backend=backend,
     )
-    pred_grid = DensityGrid(bbox, result.predictions.reshape(nx, ny))
+    pred_grid = DensityGrid(
+        bbox, result.predictions.reshape(nx, ny),
+        diagnostics=result.diagnostics,
+    )
     var_grid = DensityGrid(bbox, result.variances.reshape(nx, ny))
     return pred_grid, var_grid, model

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_in_range, check_positive
 from ...errors import ParameterError
 from .base import KDVProblem, effective_radius
@@ -104,6 +105,7 @@ def kde_adaptive(
     weights = problem.weights
 
     values = np.zeros((nx, ny), dtype=np.float64)
+    scatters = patch_pixels = 0
     for row in range(pts.shape[0]):
         b = float(bandwidths[row])
         radius = effective_radius(kernel, b)
@@ -123,4 +125,8 @@ def kde_adaptive(
         if weights is not None:
             patch = patch * weights[row]
         values[ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += patch
+        scatters += 1
+        patch_pixels += patch.size
+    obs.count("kdv.scatters", scatters)
+    obs.count("kdv.patch_pixels", patch_pixels)
     return problem.make_grid(values)

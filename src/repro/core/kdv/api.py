@@ -32,7 +32,9 @@ mass).  ``dualtree`` and ``parallel`` additionally accept ``workers`` /
 ``backend`` and route their hot loop through :mod:`repro.parallel` under
 the bit-identical worker-invariance contract; ``dualtree`` attaches a
 :class:`~repro.core.kdv.dualtree.RefinementStats` record to the result's
-``stats`` attribute.
+``diagnostics.records["refinement"]``.  Every backend reports into
+:mod:`repro.obs` when tracing is active, and the task's span tree rides
+on the returned grid's ``diagnostics``.
 
 Method-specific parameters (``eps``, ``delta``, ``sample``, ``seed``,
 ``index``, ``tau``, ``workers``, ``backend``) raise
@@ -42,6 +44,7 @@ would silently ignore them.
 
 from __future__ import annotations
 
+from ... import obs
 from ...errors import ParameterError
 from ...geometry import BoundingBox
 from ...raster import DensityGrid
@@ -90,11 +93,11 @@ def kde_grid(
     eps: float | None = None,
     delta: float | None = None,
     sample: int | None = None,
+    index: str | None = None,
+    tau: float | None = None,
     seed=None,
     workers: int | None = None,
     backend: str | None = None,
-    index: str | None = None,
-    tau: float | None = None,
 ) -> DensityGrid:
     """Kernel density visualisation (paper Definition 1).
 
@@ -139,7 +142,8 @@ def kde_grid(
     Returns
     -------
     :class:`~repro.raster.DensityGrid` (with a ``RefinementStats`` record
-    on ``.stats`` when ``method="dualtree"``).
+    on ``.diagnostics.records["refinement"]`` when ``method="dualtree"``,
+    and a populated span tree whenever tracing is enabled).
     """
     if method not in KDV_METHODS:
         raise ParameterError(
@@ -158,6 +162,34 @@ def kde_grid(
 
     problem = KDVProblem(points, bbox, size, bandwidth, kernel, weights=weights)
 
+    with obs.task("kdv") as trace:
+        grid = _dispatch(
+            problem, method, eps=eps, delta=delta, sample=sample, seed=seed,
+            workers=workers, backend=backend, index=index, tau=tau,
+        )
+        values = grid.values
+        if normalize:
+            values = values * problem.normalization()
+        if grid.diagnostics is not None:
+            for key, value in grid.diagnostics.records.items():
+                trace.record(key, value)
+
+    diagnostics = (trace.diagnostics if trace.diagnostics is not None
+                   else grid.diagnostics)
+    if normalize or diagnostics is not grid.diagnostics:
+        grid = DensityGrid(grid.bbox, values, diagnostics=diagnostics)
+    return grid
+
+
+def _dispatch(
+    problem: KDVProblem,
+    method: str,
+    eps, delta, sample, seed, workers, backend, index, tau,
+) -> DensityGrid:
+    """Run one backend on a validated problem (tracing handled by caller)."""
+    obs.count("kdv.points", problem.n)
+    obs.count("kdv.pixels", problem.nx * problem.ny)
+
     if method == "auto":
         has_poly = problem.kernel.poly_coeffs(problem.bandwidth) is not None
         dx, dy = problem.bbox.pixel_size(problem.nx, problem.ny)
@@ -165,6 +197,8 @@ def kde_grid(
         # and each point touches O(1) pixels anyway, so scatter wins there.
         sub_pixel = problem.bandwidth < 2.0 * max(dx, dy)
         method = "sweep" if has_poly and not sub_pixel else "grid"
+
+    obs.count(f"kdv.method.{method}")
 
     if method == "naive":
         grid = kde_naive(problem)
@@ -197,9 +231,4 @@ def kde_grid(
         grid = kde_parallel(problem, workers=workers, backend=backend)
     else:  # "adaptive" — the method name was validated above
         grid = kde_adaptive(problem)
-
-    if normalize:
-        grid = DensityGrid(
-            grid.bbox, grid.values * problem.normalization(), stats=grid.stats
-        )
     return grid

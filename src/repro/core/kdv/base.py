@@ -76,8 +76,8 @@ class KDVProblem:
     def total_weight(self) -> float:
         return float(self.n if self.weights is None else self.weights.sum())
 
-    def make_grid(self, values: np.ndarray, stats=None) -> DensityGrid:
-        return DensityGrid(self.bbox, values, stats=stats)
+    def make_grid(self, values: np.ndarray, diagnostics=None) -> DensityGrid:
+        return DensityGrid(self.bbox, values, diagnostics=diagnostics)
 
     def normalization(self) -> float:
         """Equation 1's ``w`` for a probability density: 1 / (W * integral)."""

@@ -27,6 +27,7 @@ import heapq
 
 import numpy as np
 
+from ... import obs
 from ...errors import ParameterError
 from ...index import BallTree, KDTree
 from .base import KDVProblem
@@ -34,8 +35,14 @@ from .base import KDVProblem
 __all__ = ["kde_bounds", "kde_point_bounds"]
 
 
-def kde_point_bounds(tree, kernel, bandwidth: float, x: float, y: float, eps: float) -> float:
-    """Approximate kernel sum at one query with the Equation 6 guarantee."""
+def kde_point_bounds(tree, kernel, bandwidth: float, x: float, y: float, eps: float,
+                     _counters: dict | None = None) -> float:
+    """Approximate kernel sum at one query with the Equation 6 guarantee.
+
+    ``_counters`` (internal) is a mutable dict the caller passes to
+    accumulate ``refined`` / ``scanned`` observability counters without
+    changing the return type.
+    """
     b = bandwidth
     root = 0
     dmin, dmax = tree.node_bounds(root, x, y)
@@ -60,10 +67,14 @@ def kde_point_bounds(tree, kernel, bandwidth: float, x: float, y: float, eps: fl
             break
         lb_total -= lb
         ub_total -= ub
+        if _counters is not None:
+            _counters["refined"] += 1
         if tree.is_leaf(node):
             block = tree.node_points(node)
             d2 = (block[:, 0] - x) ** 2 + (block[:, 1] - y) ** 2
             exact += float(kernel.evaluate_sq(d2, b).sum())
+            if _counters is not None:
+                _counters["scanned"] += block.shape[0]
         else:
             for child in tree.children(node):
                 cmin, cmax = tree.node_bounds(child, x, y)
@@ -114,7 +125,13 @@ def kde_bounds(
     values = np.empty((problem.nx, problem.ny), dtype=np.float64)
     kernel = problem.kernel
     b = problem.bandwidth
+    counters = {"refined": 0, "scanned": 0} if obs.is_active() else None
     for i, x in enumerate(xs):
         for j, y in enumerate(ys):
-            values[i, j] = kde_point_bounds(tree, kernel, b, float(x), float(y), eps)
+            values[i, j] = kde_point_bounds(
+                tree, kernel, b, float(x), float(y), eps, _counters=counters
+            )
+    if counters is not None:
+        obs.count("kdv.nodes_refined", counters["refined"])
+        obs.count("kdv.points_scanned", counters["scanned"])
     return problem.make_grid(values)

@@ -39,18 +39,19 @@ Because the tile partition and every job's work are worker-invariant, the
 output is **bit-identical for every ``workers``/``backend`` combination,
 including serial** — parallelism changes wall-time only.  A
 :class:`RefinementStats` record describing the refinement (pair counts,
-bulk accepts, exact scans, per-phase wall time) is attached to the
-returned grid as ``grid.stats``.
+bulk accepts, exact scans, per-phase wall time) rides on the returned
+grid's ``diagnostics`` record under ``records["refinement"]``, and the
+same counters feed the :mod:`repro.obs` trace when one is active.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
-from time import perf_counter
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_non_negative
 from ...index import KDTree
 from ...parallel import parallel_starmap
@@ -73,8 +74,10 @@ _PLAN_TILE_CAP = 32
 class RefinementStats:
     """Observability record for one dual-tree refinement run.
 
-    Attached to the returned grid as ``grid.stats``; all counters cover
-    the plan and execute phases together.
+    Carried on the returned grid as
+    ``grid.diagnostics.records["refinement"]`` (``grid.stats`` remains a
+    deprecated alias); all counters cover the plan and execute phases
+    together.
     """
 
     pairs_visited: int
@@ -350,67 +353,83 @@ def kde_dualtree(
     Returns
     -------
     :class:`~repro.raster.DensityGrid` with a :class:`RefinementStats`
-    record attached as ``grid.stats``.
+    record on ``grid.diagnostics.records["refinement"]``.
     """
     tau = check_non_negative(tau, "tau")
 
-    t_plan = perf_counter()
-    tree = KDTree(problem.points, leaf_size=leaf_size, weights=problem.weights)
-    kernel = problem.kernel
-    b = problem.bandwidth
-    nx, ny = problem.nx, problem.ny
-    values = np.zeros((nx, ny), dtype=np.float64)
+    with obs.task("kdv.dualtree") as trace:
+        plan_watch = obs.Stopwatch()
+        with plan_watch, obs.span("plan"):
+            tree = KDTree(problem.points, leaf_size=leaf_size,
+                          weights=problem.weights)
+            kernel = problem.kernel
+            b = problem.bandwidth
+            nx, ny = problem.nx, problem.ny
+            values = np.zeros((nx, ny), dtype=np.float64)
 
-    total_weight = tree.total_weight
-    if total_weight == 0.0:
-        # Zero total mass: the density is identically zero everywhere.
-        stats = RefinementStats(0, 0, 0, 0, 0, 0, 0,
-                                perf_counter() - t_plan, 0.0)
-        return problem.make_grid(values, stats=stats)
-    per_w_tol = tau / total_weight
+            total_weight = tree.total_weight
+            if total_weight == 0.0:
+                jobs = None  # zero total mass: density identically zero
+            else:
+                per_w_tol = tau / total_weight
+                xs, ys = problem.pixel_centers()
+                tiles = _partition_tiles(nx, ny, _PLAN_TILE_CAP)
 
-    xs, ys = problem.pixel_centers()
-    tiles = _partition_tiles(nx, ny, _PLAN_TILE_CAP)
+                pairs = pruned = accepted = 0
+                jobs = []
+                job_tiles: list[tuple[int, int, int, int]] = []
+                for tile in tiles:
+                    frontier, base, (t_pairs, t_pruned, t_accepted) = _plan_tile(
+                        tree, kernel, b, per_w_tol, xs, ys, tile
+                    )
+                    pairs += t_pairs
+                    pruned += t_pruned
+                    accepted += t_accepted
+                    if frontier:
+                        jobs.append((tree, kernel, b, per_w_tol, xs, ys, tile,
+                                     frontier, base))
+                        job_tiles.append(tile)
+                    elif base != 0.0:
+                        ix0, ix1, iy0, iy1 = tile
+                        values[ix0:ix1, iy0:iy1] = base
 
-    pairs = pruned = accepted = 0
-    jobs: list[tuple] = []
-    job_tiles: list[tuple[int, int, int, int]] = []
-    for tile in tiles:
-        frontier, base, (t_pairs, t_pruned, t_accepted) = _plan_tile(
-            tree, kernel, b, per_w_tol, xs, ys, tile
-        )
-        pairs += t_pairs
-        pruned += t_pruned
-        accepted += t_accepted
-        if frontier:
-            jobs.append((tree, kernel, b, per_w_tol, xs, ys, tile, frontier, base))
-            job_tiles.append(tile)
-        elif base != 0.0:
-            ix0, ix1, iy0, iy1 = tile
-            values[ix0:ix1, iy0:iy1] = base
-    plan_seconds = perf_counter() - t_plan
+        if jobs is None:
+            stats = RefinementStats(0, 0, 0, 0, 0, 0, 0,
+                                    plan_watch.seconds, 0.0)
+        else:
+            exec_watch = obs.Stopwatch()
+            leaf_scans = points = 0
+            with exec_watch, obs.span("execute"):
+                results = parallel_starmap(_refine_tile, jobs,
+                                           workers=workers, backend=backend)
+                for (ix0, ix1, iy0, iy1), (local, counters) in zip(job_tiles,
+                                                                   results):
+                    values[ix0:ix1, iy0:iy1] = local
+                    pairs += counters[0]
+                    pruned += counters[1]
+                    accepted += counters[2]
+                    leaf_scans += counters[3]
+                    points += counters[4]
 
-    t_exec = perf_counter()
-    leaf_scans = points = 0
-    results = parallel_starmap(_refine_tile, jobs, workers=workers, backend=backend)
-    for (ix0, ix1, iy0, iy1), (local, counters) in zip(job_tiles, results):
-        values[ix0:ix1, iy0:iy1] = local
-        pairs += counters[0]
-        pruned += counters[1]
-        accepted += counters[2]
-        leaf_scans += counters[3]
-        points += counters[4]
-    execute_seconds = perf_counter() - t_exec
-
-    stats = RefinementStats(
-        pairs_visited=pairs,
-        pairs_pruned=pruned,
-        tiles_bulk_accepted=accepted,
-        leaf_leaf_scans=leaf_scans,
-        points_touched=points,
-        n_tiles=len(tiles),
-        n_jobs=len(jobs),
-        plan_seconds=plan_seconds,
-        execute_seconds=execute_seconds,
-    )
-    return problem.make_grid(values, stats=stats)
+            stats = RefinementStats(
+                pairs_visited=pairs,
+                pairs_pruned=pruned,
+                tiles_bulk_accepted=accepted,
+                leaf_leaf_scans=leaf_scans,
+                points_touched=points,
+                n_tiles=len(tiles),
+                n_jobs=len(jobs),
+                plan_seconds=plan_watch.seconds,
+                execute_seconds=exec_watch.seconds,
+            )
+            # Mirror the counters into the ambient trace (no-ops when
+            # tracing is off); the structured record rides along either way.
+            obs.count("kdv.pairs_visited", pairs)
+            obs.count("kdv.pairs_pruned", pruned)
+            obs.count("kdv.tiles_bulk_accepted", accepted)
+            obs.count("kdv.leaf_leaf_scans", leaf_scans)
+            obs.count("kdv.points_touched", points)
+            obs.count("kdv.tiles", len(tiles))
+            obs.count("kdv.jobs", len(jobs))
+        trace.record("refinement", stats)
+    return problem.make_grid(values, diagnostics=trace.diagnostics)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_probability
 from .base import KDVProblem, effective_radius
 
@@ -42,6 +43,7 @@ def kde_gridcut(problem: KDVProblem, tail: float = 1e-12):
     pts = problem.points
     weights = problem.weights
 
+    scatters = patch_pixels = 0
     for row in range(pts.shape[0]):
         px, py = pts[row]
         # Pixel index window covered by the disc of `radius` around (px, py).
@@ -60,4 +62,8 @@ def kde_gridcut(problem: KDVProblem, tail: float = 1e-12):
         if weights is not None:
             patch = patch * weights[row]
         values[ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += patch
+        scatters += 1
+        patch_pixels += patch.size
+    obs.count("kdv.scatters", scatters)
+    obs.count("kdv.patch_pixels", patch_pixels)
     return problem.make_grid(values)

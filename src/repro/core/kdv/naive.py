@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_positive
 from .base import KDVProblem
 
@@ -60,4 +61,5 @@ def kde_naive(problem: KDVProblem, chunk_pixels: int = 4096):
             out[start:stop] = vals.sum(axis=1)
         else:
             out[start:stop] = vals @ weights
+    obs.count("kdv.distance_evals", queries.shape[0] * pts.shape[0])
     return problem.make_grid(out.reshape(problem.nx, problem.ny))

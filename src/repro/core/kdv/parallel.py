@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_positive
 from ...parallel import parallel_starmap
 from .base import KDVProblem
@@ -36,6 +37,9 @@ def _band(problem: KDVProblem, xs: np.ndarray, ys: np.ndarray, j_lo: int, j_hi: 
     q = np.column_stack([gx.ravel(), gy.ravel()])
     d2 = np.sum(q * q, axis=1)[:, None] + p_sq[None, :] - 2.0 * (q @ pts.T)
     np.maximum(d2, 0.0, out=d2)
+    # Total over all bands is nx*ny*n — invariant even though the band
+    # split itself follows the requested worker count.
+    obs.count("kdv.distance_evals", d2.size)
     vals = problem.kernel.evaluate_sq(d2, problem.bandwidth)
     if problem.weights is None:
         summed = vals.sum(axis=1)

@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_probability, check_positive, resolve_rng
 from ...errors import ParameterError
 from .base import KDVProblem
@@ -74,7 +75,9 @@ def kde_sampling(
         raise ParameterError(f"sample size must be >= 1, got {m}")
     if m >= n:
         # Sampling cannot help; fall back to the exact cutoff backend.
+        obs.count("kdv.sample_size", n)
         return kde_gridcut(problem)
+    obs.count("kdv.sample_size", m)
 
     rng = resolve_rng(seed)
     idx = rng.choice(n, size=m, replace=False)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ...errors import ParameterError
 from .base import KDVProblem
 
@@ -113,6 +114,7 @@ def kde_sweep(problem: KDVProblem):
     lo = 0
     hi = 0
     n = sx.shape[0]
+    band_points = 0
     for j in range(ny):
         y = ys[j]
         # Advance the y-band [y - b, y + b] over the y-sorted points.
@@ -147,6 +149,7 @@ def kde_sweep(problem: KDVProblem):
         np.clip(i_in, 0, nx, out=i_in)
         np.clip(i_out, 0, nx, out=i_out)
 
+        band_points += px.shape[0]
         point_coeffs = _expanded_coeffs(px, dy2, coeffs, w)
 
         # Delta table: +coeffs at entry pixel, -coeffs at exit pixel;
@@ -157,4 +160,6 @@ def kde_sweep(problem: KDVProblem):
         active = np.cumsum(delta[:nx], axis=0)
 
         values[:, j] = np.einsum("ik,ik->i", active, xpow)
+    obs.count("kdv.rows_swept", ny)
+    obs.count("kdv.band_points", band_points)
     return problem.make_grid(values)

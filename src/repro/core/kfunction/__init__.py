@@ -18,6 +18,7 @@ from .network import (
 )
 from .pcf import pair_correlation
 from .planar import K_METHODS, border_ripley_k, k_function, l_function, ripley_k
+from .result import NetworkKResult, STKResult
 from .spacetime import (
     ST_K_METHODS,
     STKFunctionPlot,
@@ -40,7 +41,9 @@ __all__ = [
     "K_METHODS",
     "NETWORK_K_METHODS",
     "NetworkKFunctionPlot",
+    "NetworkKResult",
     "STKFunctionPlot",
+    "STKResult",
     "ST_K_METHODS",
     "k_function",
     "k_function_plot",

@@ -18,9 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..._validation import as_points, check_thresholds, resolve_rng
+from ... import obs
+from ..._validation import as_points, check_thresholds
 from ...errors import ParameterError
 from ...index import GridIndex
+from ...parallel import parallel_map, spawn_rngs
 
 __all__ = ["cross_k_function", "CrossKFunctionPlot", "cross_k_function_plot"]
 
@@ -52,6 +54,7 @@ class CrossKFunctionPlot:
     lower: np.ndarray
     upper: np.ndarray
     n_simulations: int
+    diagnostics: "obs.Diagnostics | None" = None
 
     def attraction_mask(self) -> np.ndarray:
         """Thresholds where the types co-locate more than labels predict."""
@@ -73,17 +76,31 @@ class CrossKFunctionPlot:
         return out
 
 
+def _cross_label_task(task):
+    """One random-labelling simulation of the cross-K (module-level)."""
+    rng, combined, n_a, ts = task
+    with obs.span("simulation"):
+        obs.count("crossk.permutations")
+        perm = rng.permutation(combined.shape[0])
+        return cross_k_function(combined[perm[:n_a]], combined[perm[n_a:]], ts)
+
+
 def cross_k_function_plot(
     points_a,
     points_b,
     thresholds,
     n_simulations: int = 99,
     seed=None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> CrossKFunctionPlot:
     """Cross-K plot under the random-labelling null.
 
     Each simulation shuffles the A/B labels over the combined point set
-    (sizes preserved) and recomputes the cross-K.
+    (sizes preserved) and recomputes the cross-K.  Simulations fan out
+    over the shared executor (``workers``/``backend``, see
+    :mod:`repro.parallel`) with one RNG stream per simulation, so the
+    envelope is bit-identical for every worker count.
     """
     a = as_points(points_a, name="points_a")
     b = as_points(points_b, name="points_b")
@@ -91,27 +108,25 @@ def cross_k_function_plot(
     n_simulations = int(n_simulations)
     if n_simulations < 1:
         raise ParameterError(f"n_simulations must be >= 1, got {n_simulations}")
-    rng = resolve_rng(seed)
 
-    observed = cross_k_function(a, b, ts)
-    combined = np.vstack([a, b])
-    n_a = a.shape[0]
-    total = combined.shape[0]
+    with obs.task("crossk.plot") as trace:
+        observed = cross_k_function(a, b, ts)
+        combined = np.vstack([a, b])
+        n_a = a.shape[0]
 
-    lower = np.full(ts.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
-    upper = np.zeros(ts.shape[0], dtype=np.int64)
-    for _ in range(n_simulations):
-        perm = rng.permutation(total)
-        sim_a = combined[perm[:n_a]]
-        sim_b = combined[perm[n_a:]]
-        k_sim = cross_k_function(sim_a, sim_b, ts)
-        np.minimum(lower, k_sim, out=lower)
-        np.maximum(upper, k_sim, out=upper)
+        tasks = [
+            (rng, combined, n_a, ts) for rng in spawn_rngs(seed, n_simulations)
+        ]
+        sims = np.vstack(
+            parallel_map(_cross_label_task, tasks, workers=workers,
+                         backend=backend)
+        )
 
     return CrossKFunctionPlot(
         thresholds=ts,
         observed=observed.astype(np.float64),
-        lower=lower.astype(np.float64),
-        upper=upper.astype(np.float64),
+        lower=sims.min(axis=0).astype(np.float64),
+        upper=sims.max(axis=0).astype(np.float64),
         n_simulations=n_simulations,
+        diagnostics=trace.diagnostics,
     )

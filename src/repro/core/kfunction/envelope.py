@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_points, check_thresholds
 from ...errors import ParameterError
 from ...geometry import BoundingBox
@@ -30,13 +31,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class KFunctionPlot:
-    """Observed K-function curve with its CSR envelope."""
+    """Observed K-function curve with its CSR envelope.
+
+    ``diagnostics`` carries the :class:`repro.obs.Diagnostics` of the
+    producing call (per-simulation spans aggregated, counters summed);
+    ``None`` when tracing was disabled.
+    """
 
     thresholds: np.ndarray
     observed: np.ndarray
     lower: np.ndarray
     upper: np.ndarray
     n_simulations: int
+    diagnostics: obs.Diagnostics | None = None
 
     def __post_init__(self) -> None:
         shapes = {
@@ -101,6 +108,7 @@ class GlobalEnvelopeResult:
     mad_critical: float
     p_value: float
     alpha: float
+    diagnostics: obs.Diagnostics | None = None
 
     @property
     def significant(self) -> bool:
@@ -110,9 +118,12 @@ class GlobalEnvelopeResult:
 def _csr_k_task(task):
     """One CSR simulation of the K-curve (module-level for process pools)."""
     rng, bbox, n, ts, method, include_self = task
-    return k_function(
-        bbox.sample_uniform(n, rng), ts, method=method, include_self=include_self
-    ).astype(np.float64)
+    with obs.span("simulation"):
+        obs.count("kfunction.simulations")
+        return k_function(
+            bbox.sample_uniform(n, rng), ts, method=method,
+            include_self=include_self,
+        ).astype(np.float64)
 
 
 def _simulate_csr_curves(
@@ -167,20 +178,21 @@ def global_envelope_test(
     if not (0.0 < alpha < 1.0):
         raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
 
-    observed = k_function(pts, ts, method=method).astype(np.float64)
-    n = pts.shape[0]
-    sims = _simulate_csr_curves(
-        bbox, n, ts, n_simulations, method, False, seed, workers, backend
-    )
+    with obs.task("kfunction.global_envelope") as trace:
+        observed = k_function(pts, ts, method=method).astype(np.float64)
+        n = pts.shape[0]
+        sims = _simulate_csr_curves(
+            bbox, n, ts, n_simulations, method, False, seed, workers, backend
+        )
 
-    mean = sims.mean(axis=0)
-    sd = np.maximum(sims.std(axis=0, ddof=1), 1e-12)
-    sim_mads = np.abs((sims - mean[None, :]) / sd[None, :]).max(axis=1)
-    obs_mad = float(np.abs((observed - mean) / sd).max())
+        mean = sims.mean(axis=0)
+        sd = np.maximum(sims.std(axis=0, ddof=1), 1e-12)
+        sim_mads = np.abs((sims - mean[None, :]) / sd[None, :]).max(axis=1)
+        obs_mad = float(np.abs((observed - mean) / sd).max())
 
-    critical = float(np.quantile(sim_mads, 1.0 - alpha))
-    # Monte-Carlo p-value: rank of the observed MAD among the simulated.
-    p = (1.0 + float((sim_mads >= obs_mad).sum())) / (n_simulations + 1.0)
+        critical = float(np.quantile(sim_mads, 1.0 - alpha))
+        # Monte-Carlo p-value: rank of the observed MAD among the simulated.
+        p = (1.0 + float((sim_mads >= obs_mad).sum())) / (n_simulations + 1.0)
     return GlobalEnvelopeResult(
         thresholds=ts,
         observed=observed,
@@ -189,6 +201,7 @@ def global_envelope_test(
         mad_critical=critical,
         p_value=p,
         alpha=float(alpha),
+        diagnostics=trace.diagnostics,
     )
 
 
@@ -220,12 +233,14 @@ def k_function_plot(
     if n_simulations < 1:
         raise ParameterError(f"n_simulations must be >= 1, got {n_simulations}")
 
-    observed = k_function(pts, ts, method=method, include_self=include_self)
+    with obs.task("kfunction.plot") as trace:
+        observed = k_function(pts, ts, method=method, include_self=include_self)
 
-    n = pts.shape[0]
-    sims = _simulate_csr_curves(
-        bbox, n, ts, n_simulations, method, include_self, seed, workers, backend
-    )
+        n = pts.shape[0]
+        sims = _simulate_csr_curves(
+            bbox, n, ts, n_simulations, method, include_self, seed, workers,
+            backend,
+        )
 
     return KFunctionPlot(
         thresholds=ts,
@@ -233,4 +248,5 @@ def k_function_plot(
         lower=sims.min(axis=0),
         upper=sims.max(axis=0),
         n_simulations=n_simulations,
+        diagnostics=trace.diagnostics,
     )

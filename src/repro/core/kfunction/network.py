@@ -15,7 +15,10 @@ Two backends:
 
 Both backends bound the traversal at the largest threshold, which is safe:
 any path of total length <= s_max visits only nodes within s_max of the
-source.
+source.  Both fan their per-edge / per-event scans out over the shared
+executor (``workers``/``backend``, see :mod:`repro.parallel`); the
+reduction is an integer sum over fixed-size chunks, so the counts are
+bit-identical for every worker count and backend.
 """
 
 from __future__ import annotations
@@ -24,12 +27,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from ..._validation import check_thresholds
 from ...errors import ParameterError
 from ...network import NetworkPosition, RoadNetwork, node_distances
 from ...parallel import parallel_map, spawn_rngs
+from .result import NetworkKResult
 
 __all__ = [
+    "NetworkKResult",
     "network_k_function",
     "network_ripley_k",
     "NetworkKFunctionPlot",
@@ -38,6 +44,13 @@ __all__ = [
 ]
 
 NETWORK_K_METHODS = ("auto", "naive", "shared")
+
+# Fixed chunk sizes for the per-edge / per-event fan-out.  Constants (never
+# derived from ``workers``) keep the chunk partition — and hence the merged
+# trace — worker-invariant; the integer count reduction is order-invariant
+# anyway.
+_EDGE_CHUNK = 4
+_EVENT_CHUNK = 8
 
 
 def _event_arrays(network: RoadNetwork, events) -> tuple[np.ndarray, np.ndarray]:
@@ -50,17 +63,9 @@ def _event_arrays(network: RoadNetwork, events) -> tuple[np.ndarray, np.ndarray]
     return edges, offsets
 
 
-def _pair_distance_counts_shared(
-    network: RoadNetwork,
-    edges: np.ndarray,
-    offsets: np.ndarray,
-    thresholds: np.ndarray,
-) -> np.ndarray:
-    """Ordered-pair counts (including self-pairs) via per-edge sharing."""
-    smax = float(thresholds.max())
-    n = edges.shape[0]
-    counts = np.zeros(thresholds.shape[0], dtype=np.int64)
-
+def _shared_edge_task(task):
+    """Pair counts contributed by the events on one edge (module-level)."""
+    network, edge, edges, offsets, thresholds, smax = task
     edge_u = network.edge_nodes[:, 0]
     edge_v = network.edge_nodes[:, 1]
     lengths = network.edge_lengths
@@ -69,37 +74,85 @@ def _pair_distance_counts_shared(
     target_v = edge_v[edges]
     target_len = lengths[edges]
 
-    for edge in np.unique(edges):
-        on_edge = edges == edge
-        o_a = offsets[on_edge]  # (m,)
-        u, v = int(edge_u[edge]), int(edge_v[edge])
-        length = float(lengths[edge])
-        du = node_distances(network, u, cutoff=smax)
-        dv = node_distances(network, v, cutoff=smax)
+    on_edge = edges == edge
+    o_a = offsets[on_edge]  # (m,)
+    u, v = int(edge_u[edge]), int(edge_v[edge])
+    length = float(lengths[edge])
+    du = node_distances(network, u, cutoff=smax)
+    dv = node_distances(network, v, cutoff=smax)
 
-        # Distance from each source event (rows) to the endpoints of every
-        # target event's edge (columns).
-        d_src_u = np.minimum(
-            o_a[:, None] + du[target_u][None, :],
-            (length - o_a)[:, None] + dv[target_u][None, :],
-        )
-        d_src_v = np.minimum(
-            o_a[:, None] + du[target_v][None, :],
-            (length - o_a)[:, None] + dv[target_v][None, :],
-        )
-        dij = np.minimum(
-            d_src_u + offsets[None, :],
-            d_src_v + (target_len - offsets)[None, :],
-        )
-        # Same-edge pairs can go directly along the edge.
-        same = np.flatnonzero(edges == edge)
-        if same.size:
-            direct = np.abs(o_a[:, None] - offsets[same][None, :])
-            dij[:, same] = np.minimum(dij[:, same], direct)
+    # Distance from each source event (rows) to the endpoints of every
+    # target event's edge (columns).
+    d_src_u = np.minimum(
+        o_a[:, None] + du[target_u][None, :],
+        (length - o_a)[:, None] + dv[target_u][None, :],
+    )
+    d_src_v = np.minimum(
+        o_a[:, None] + du[target_v][None, :],
+        (length - o_a)[:, None] + dv[target_v][None, :],
+    )
+    dij = np.minimum(
+        d_src_u + offsets[None, :],
+        d_src_v + (target_len - offsets)[None, :],
+    )
+    # Same-edge pairs can go directly along the edge.
+    same = np.flatnonzero(on_edge)
+    if same.size:
+        direct = np.abs(o_a[:, None] - offsets[same][None, :])
+        dij[:, same] = np.minimum(dij[:, same], direct)
 
-        flat = np.sort(dij, axis=None)
-        counts += np.searchsorted(flat, thresholds, side="right")
+    obs.count("netk.edges_processed")
+    flat = np.sort(dij, axis=None)
+    return np.searchsorted(flat, thresholds, side="right").astype(np.int64)
+
+
+def _pair_distance_counts_shared(
+    network: RoadNetwork,
+    edges: np.ndarray,
+    offsets: np.ndarray,
+    thresholds: np.ndarray,
+    workers: int | None,
+    backend: str | None,
+) -> np.ndarray:
+    """Ordered-pair counts (including self-pairs) via per-edge sharing."""
+    smax = float(thresholds.max())
+    tasks = [
+        (network, int(edge), edges, offsets, thresholds, smax)
+        for edge in np.unique(edges)
+    ]
+    partials = parallel_map(
+        _shared_edge_task, tasks, workers=workers, backend=backend,
+        chunksize=_EDGE_CHUNK,
+    )
+    counts = np.zeros(thresholds.shape[0], dtype=np.int64)
+    for part in partials:
+        counts += part
     return counts
+
+
+def _naive_event_task(task):
+    """Pair counts from one source event's bounded Dijkstra (module-level)."""
+    network, i, edges, offsets, thresholds, smax = task
+    edge_u = network.edge_nodes[:, 0][edges]
+    edge_v = network.edge_nodes[:, 1][edges]
+    target_len = network.edge_lengths[edges]
+
+    u, v = network.edge_nodes[edges[i]]
+    length = float(network.edge_lengths[edges[i]])
+    dist = node_distances(
+        network,
+        [(int(u), float(offsets[i])), (int(v), length - float(offsets[i]))],
+        cutoff=smax,
+    )
+    dij = np.minimum(
+        dist[edge_u] + offsets,
+        dist[edge_v] + (target_len - offsets),
+    )
+    same = edges == edges[i]
+    dij[same] = np.minimum(dij[same], np.abs(offsets[same] - offsets[i]))
+    return np.searchsorted(np.sort(dij), thresholds, side="right").astype(
+        np.int64
+    )
 
 
 def _pair_distance_counts_naive(
@@ -107,29 +160,22 @@ def _pair_distance_counts_naive(
     edges: np.ndarray,
     offsets: np.ndarray,
     thresholds: np.ndarray,
+    workers: int | None,
+    backend: str | None,
 ) -> np.ndarray:
     """Ordered-pair counts (including self-pairs): one Dijkstra per event."""
     smax = float(thresholds.max())
+    tasks = [
+        (network, i, edges, offsets, thresholds, smax)
+        for i in range(edges.shape[0])
+    ]
+    partials = parallel_map(
+        _naive_event_task, tasks, workers=workers, backend=backend,
+        chunksize=_EVENT_CHUNK,
+    )
     counts = np.zeros(thresholds.shape[0], dtype=np.int64)
-    edge_u = network.edge_nodes[:, 0][edges]
-    edge_v = network.edge_nodes[:, 1][edges]
-    target_len = network.edge_lengths[edges]
-
-    for i in range(edges.shape[0]):
-        u, v = network.edge_nodes[edges[i]]
-        length = float(network.edge_lengths[edges[i]])
-        dist = node_distances(
-            network,
-            [(int(u), float(offsets[i])), (int(v), length - float(offsets[i]))],
-            cutoff=smax,
-        )
-        dij = np.minimum(
-            dist[edge_u] + offsets,
-            dist[edge_v] + (target_len - offsets),
-        )
-        same = edges == edges[i]
-        dij[same] = np.minimum(dij[same], np.abs(offsets[same] - offsets[i]))
-        counts += np.searchsorted(np.sort(dij), thresholds, side="right")
+    for part in partials:
+        counts += part
     return counts
 
 
@@ -139,13 +185,21 @@ def network_k_function(
     thresholds,
     method: str = "auto",
     include_self: bool = False,
-) -> np.ndarray:
+    workers: int | None = None,
+    backend: str | None = None,
+) -> NetworkKResult:
     """Raw network K-function counts for every threshold.
 
     ``events`` is a sequence of :class:`~repro.network.NetworkPosition`.
-    Returns ordered-pair counts (each unordered pair contributes 2), with
-    self-pairs excluded unless ``include_self=True`` (paper Equation 2
-    literal form).
+    Returns a :class:`NetworkKResult` — an ``np.ndarray`` subclass of
+    ordered-pair counts (each unordered pair contributes 2, self-pairs
+    excluded unless ``include_self=True``, paper Equation 2 literal form)
+    that additionally carries ``thresholds`` and ``diagnostics``.
+
+    ``workers``/``backend`` fan the per-edge (``shared``) or per-event
+    (``naive``) scans out over the shared executor (``None`` uses the
+    :mod:`repro.parallel` defaults, i.e. ``REPRO_WORKERS`` /
+    ``REPRO_BACKEND``); counts are bit-identical for every combination.
     """
     ts = check_thresholds(thresholds)
     if len(events) == 0:
@@ -154,18 +208,27 @@ def network_k_function(
 
     if method == "auto":
         method = "shared"
-    if method == "shared":
-        counts = _pair_distance_counts_shared(network, edges, offsets, ts)
-    elif method == "naive":
-        counts = _pair_distance_counts_naive(network, edges, offsets, ts)
-    else:
-        raise ParameterError(
-            f"unknown network K method {method!r}; "
-            f"available: {', '.join(NETWORK_K_METHODS)}"
-        )
-    if not include_self:
-        counts = counts - edges.shape[0]
-    return counts.astype(np.int64)
+    with obs.task("netk") as trace:
+        obs.count("netk.events", edges.shape[0])
+        obs.count(f"netk.method.{method}")
+        if method == "shared":
+            counts = _pair_distance_counts_shared(
+                network, edges, offsets, ts, workers, backend
+            )
+        elif method == "naive":
+            counts = _pair_distance_counts_naive(
+                network, edges, offsets, ts, workers, backend
+            )
+        else:
+            raise ParameterError(
+                f"unknown network K method {method!r}; "
+                f"available: {', '.join(NETWORK_K_METHODS)}"
+            )
+        if not include_self:
+            counts = counts - edges.shape[0]
+    return NetworkKResult(
+        counts.astype(np.int64), thresholds=ts, diagnostics=trace.diagnostics
+    )
 
 
 def network_ripley_k(
@@ -173,6 +236,8 @@ def network_ripley_k(
     events,
     thresholds,
     method: str = "auto",
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Network Ripley normalisation ``|L| / (n (n - 1)) * pair_counts``.
 
@@ -182,7 +247,10 @@ def network_ripley_k(
     n = len(events)
     if n < 2:
         raise ParameterError("network_ripley_k needs at least two events")
-    counts = network_k_function(network, events, thresholds, method=method)
+    counts = network_k_function(
+        network, events, thresholds, method=method, workers=workers,
+        backend=backend,
+    )
     return network.total_length * counts.astype(np.float64) / (n * (n - 1))
 
 
@@ -195,6 +263,7 @@ class NetworkKFunctionPlot:
     lower: np.ndarray
     upper: np.ndarray
     n_simulations: int
+    diagnostics: "obs.Diagnostics | None" = None
 
     def clustered_mask(self) -> np.ndarray:
         return self.observed > self.upper
@@ -204,10 +273,10 @@ class NetworkKFunctionPlot:
 
     def classify(self) -> list[str]:
         out = []
-        for obs, lo, hi in zip(self.observed, self.lower, self.upper):
-            if obs > hi:
+        for observed, lo, hi in zip(self.observed, self.lower, self.upper):
+            if observed > hi:
                 out.append("clustered")
-            elif obs < lo:
+            elif observed < lo:
                 out.append("dispersed")
             else:
                 out.append("random")
@@ -217,8 +286,12 @@ class NetworkKFunctionPlot:
 def _network_csr_k_task(task):
     """One uniform-on-network simulation of the K-curve (module-level)."""
     rng, network, n, ts, method = task
-    sim = network.sample_positions(n, rng)
-    return network_k_function(network, sim, ts, method=method).astype(np.float64)
+    with obs.span("simulation"):
+        obs.count("netk.simulations")
+        sim = network.sample_positions(n, rng)
+        return network_k_function(network, sim, ts, method=method).astype(
+            np.float64
+        )
 
 
 def network_k_function_plot(
@@ -245,18 +318,23 @@ def network_k_function_plot(
     if n_simulations < 1:
         raise ParameterError(f"n_simulations must be >= 1, got {n_simulations}")
 
-    observed = network_k_function(network, events, ts, method=method)
-    n = len(events)
-    tasks = [
-        (rng, network, n, ts, method) for rng in spawn_rngs(seed, n_simulations)
-    ]
-    sims = np.vstack(
-        parallel_map(_network_csr_k_task, tasks, workers=workers, backend=backend)
-    )
+    with obs.task("netk.plot") as trace:
+        observed = network_k_function(network, events, ts, method=method)
+        n = len(events)
+        tasks = [
+            (rng, network, n, ts, method)
+            for rng in spawn_rngs(seed, n_simulations)
+        ]
+        sims = np.vstack(
+            parallel_map(
+                _network_csr_k_task, tasks, workers=workers, backend=backend
+            )
+        )
     return NetworkKFunctionPlot(
         thresholds=ts,
         observed=observed.astype(np.float64),
         lower=sims.min(axis=0),
         upper=sims.max(axis=0),
         n_simulations=n_simulations,
+        diagnostics=trace.diagnostics,
     )

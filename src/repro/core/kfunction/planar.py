@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_points, check_thresholds
 from ...errors import ParameterError
 from ...geometry import BoundingBox
@@ -102,6 +103,9 @@ def k_function(
     if method == "auto":
         method = "grid"
 
+    obs.count("kfunction.points", n)
+    obs.count(f"kfunction.method.{method}")
+
     if method == "naive":
         counts = _k_naive(pts, ts, bbox, torus, int(chunk))
     elif method in ("grid", "kdtree"):
@@ -123,6 +127,10 @@ def k_function(
         raise ParameterError(
             f"unknown K-function method {method!r}; available: {', '.join(K_METHODS)}"
         )
+
+    # Ordered pairs (self-pairs included) admitted at the largest threshold.
+    if ts.shape[0]:
+        obs.count("kfunction.pairs_within_smax", int(counts[-1]))
 
     if not include_self:
         counts = counts - n  # every point matches itself at distance 0

@@ -1,0 +1,82 @@
+"""Rich K-count results that stay drop-in compatible with plain arrays.
+
+``network_k_function`` and ``st_k_function`` historically returned bare
+``np.ndarray`` count arrays, and a lot of downstream code leans on full
+array semantics (``b - a``, ``np.diff``, indexing, ``tolist``,
+``astype``).  :class:`NetworkKResult` and :class:`STKResult` therefore
+subclass ``np.ndarray``: every existing consumer keeps working unchanged,
+while the result now also carries the thresholds it was evaluated at and
+the :class:`repro.obs.Diagnostics` of the computation.
+
+Arithmetic and slicing propagate the metadata via ``__array_finalize__``
+(views keep their provenance); reductions that change meaning (``np.diff``
+etc.) simply carry it along, which is harmless — the metadata never
+participates in numeric behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NetworkKResult", "STKResult"]
+
+
+class _KCountsResult(np.ndarray):
+    """Base: an ndarray of pair counts with attached metadata fields."""
+
+    _meta_fields: tuple[str, ...] = ()
+
+    def __new__(cls, counts, **meta):
+        obj = np.asarray(counts).view(cls)
+        for name in cls._meta_fields:
+            setattr(obj, name, meta.get(name))
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is None:
+            return
+        for name in self._meta_fields:
+            setattr(self, name, getattr(obj, name, None))
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The raw count array (a plain ndarray view)."""
+        return np.asarray(self)
+
+    # ndarray pickling drops instance attributes; append them to the
+    # state tuple so results survive the process backend.
+    def __reduce__(self):
+        reconstruct, args, state = super().__reduce__()
+        meta = tuple(getattr(self, name) for name in self._meta_fields)
+        return (reconstruct, args, (state, meta))
+
+    def __setstate__(self, state) -> None:
+        base, meta = state
+        super().__setstate__(base)
+        for name, value in zip(self._meta_fields, meta):
+            setattr(self, name, value)
+
+
+class NetworkKResult(_KCountsResult):
+    """Network K-function counts per threshold.
+
+    Behaves exactly like the ``(D,)`` int64 array of ordered-pair counts
+    it used to be, plus:
+
+    * ``thresholds`` — the distance thresholds evaluated;
+    * ``diagnostics`` — the :class:`repro.obs.Diagnostics` of the run
+      (``None`` when tracing was disabled);
+    * ``counts`` — the values as a plain ``np.ndarray``.
+    """
+
+    _meta_fields = ("thresholds", "diagnostics")
+
+
+class STKResult(_KCountsResult):
+    """Spatiotemporal K-function counts over the ``(M, T)`` threshold grid.
+
+    Behaves exactly like the ``(M, T)`` int64 matrix it used to be, plus
+    ``s_thresholds`` / ``t_thresholds`` / ``diagnostics`` / ``counts``.
+    """
+
+    _meta_fields = ("s_thresholds", "t_thresholds", "diagnostics")

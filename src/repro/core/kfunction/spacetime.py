@@ -10,6 +10,10 @@ pair's ``(distance, |dt|)`` lands in a 2-D bin, and a double cumulative sum
 turns the histogram into threshold counts — every (s, t) cell for the
 price of one pass over the pairs.  The ``grid`` backend restricts the pair
 enumeration to spatial candidates within ``s_max`` via the grid index.
+Both backends fan their row/point blocks out over the shared executor
+(``workers``/``backend``, see :mod:`repro.parallel`); the reduction is an
+integer sum over fixed-size blocks, so the counts are bit-identical for
+every worker count and backend.
 """
 
 from __future__ import annotations
@@ -18,13 +22,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from ..._validation import as_points, as_timestamps, check_thresholds
 from ...errors import ParameterError
 from ...geometry import BoundingBox
 from ...index import GridIndex
 from ...parallel import parallel_map, spawn_rngs
+from .result import STKResult
 
 __all__ = [
+    "STKResult",
     "st_k_function",
     "STKFunctionPlot",
     "st_k_function_plot",
@@ -32,6 +39,11 @@ __all__ = [
 ]
 
 ST_K_METHODS = ("auto", "naive", "grid")
+
+# Points per grid-backend block.  A fixed constant (never derived from
+# ``workers``) keeps the block partition — and hence the merged trace —
+# worker-invariant; the integer count reduction is order-invariant anyway.
+_GRID_BLOCK = 256
 
 
 def _hist_counts(
@@ -54,6 +66,88 @@ def _hist_counts(
     return grid
 
 
+def _st_naive_block_task(task):
+    """Counts from one row block of the naive O(n^2) scan (module-level)."""
+    pts, ts_vals, s_ts, t_ts, start, stop = task
+    block = pts[start:stop]
+    d2 = (
+        np.sum(block * block, axis=1)[:, None]
+        + np.sum(pts * pts, axis=1)[None, :]
+        - 2.0 * (block @ pts.T)
+    )
+    np.maximum(d2, 0.0, out=d2)
+    d = np.sqrt(d2).ravel()
+    dt = np.abs(ts_vals[start:stop, None] - ts_vals[None, :]).ravel()
+    obs.count("stk.pairs_binned", d.shape[0])
+    return _hist_counts(d, dt, s_ts, t_ts)
+
+
+def _st_grid_block_task(task):
+    """Counts from one point block of the grid-index scan (module-level)."""
+    index, pts, ts_vals, s_ts, t_ts, smax, tmax, start, stop = task
+    counts = np.zeros((s_ts.shape[0], t_ts.shape[0]), dtype=np.int64)
+    pairs = 0
+    for i in range(start, stop):
+        nbr = index.range_indices(pts[i], smax)
+        if nbr.size == 0:
+            continue
+        dvec = np.sqrt(((pts[nbr] - pts[i]) ** 2).sum(axis=1))
+        dtvec = np.abs(ts_vals[nbr] - ts_vals[i])
+        near = dtvec <= tmax
+        if obs.is_active():
+            pairs += int(near.sum())
+        counts += _hist_counts(dvec[near], dtvec[near], s_ts, t_ts)
+    if pairs:
+        obs.count("stk.pairs_binned", pairs)
+    return counts
+
+
+def _st_counts(
+    pts: np.ndarray,
+    ts_vals: np.ndarray,
+    s_ts: np.ndarray,
+    t_ts: np.ndarray,
+    method: str,
+    chunk: int,
+    workers: int | None,
+    backend: str | None,
+) -> np.ndarray:
+    """Raw ordered-pair counts (self-pairs included) for one backend."""
+    n = pts.shape[0]
+    if method == "naive":
+        chunk = int(chunk)
+        if chunk < 1:
+            raise ParameterError(f"chunk must be >= 1, got {chunk}")
+        tasks = [
+            (pts, ts_vals, s_ts, t_ts, start, min(start + chunk, n))
+            for start in range(0, n, chunk)
+        ]
+        partials = parallel_map(
+            _st_naive_block_task, tasks, workers=workers, backend=backend
+        )
+    else:  # "grid" — validated by the caller
+        smax = float(s_ts.max())
+        tmax = float(t_ts.max())
+        if smax <= 0.0:
+            # Only coincident points count; the naive scan is cheap there.
+            return _st_counts(
+                pts, ts_vals, s_ts, t_ts, "naive", chunk, workers, backend
+            )
+        index = GridIndex(pts, cell_size=smax)
+        tasks = [
+            (index, pts, ts_vals, s_ts, t_ts, smax, tmax, start,
+             min(start + _GRID_BLOCK, n))
+            for start in range(0, n, _GRID_BLOCK)
+        ]
+        partials = parallel_map(
+            _st_grid_block_task, tasks, workers=workers, backend=backend
+        )
+    counts = np.zeros((s_ts.shape[0], t_ts.shape[0]), dtype=np.int64)
+    for part in partials:
+        counts += part
+    return counts
+
+
 def st_k_function(
     points,
     times,
@@ -62,11 +156,19 @@ def st_k_function(
     method: str = "auto",
     include_self: bool = False,
     chunk: int = 1024,
-) -> np.ndarray:
+    workers: int | None = None,
+    backend: str | None = None,
+) -> STKResult:
     """Raw spatiotemporal K counts ``K(s_alpha, t_beta)`` (Equation 8).
 
-    Returns an ``(M, T)`` int64 matrix of ordered-pair counts.  Self-pairs
-    are excluded unless ``include_self=True`` (Equation 8 literal form).
+    Returns an ``(M, T)`` :class:`STKResult` — an ``np.ndarray`` subclass
+    of int64 ordered-pair counts that additionally carries
+    ``s_thresholds`` / ``t_thresholds`` / ``diagnostics``.  Self-pairs are
+    excluded unless ``include_self=True`` (Equation 8 literal form).
+
+    ``workers``/``backend`` fan the row/point blocks out over the shared
+    executor (``None`` uses the :mod:`repro.parallel` defaults); counts
+    are bit-identical for every combination.
     """
     pts = as_points(points)
     ts_vals = as_timestamps(times, pts.shape[0])
@@ -76,49 +178,25 @@ def st_k_function(
 
     if method == "auto":
         method = "grid"
-
-    if method == "naive":
-        counts = np.zeros((s_ts.shape[0], t_ts.shape[0]), dtype=np.int64)
-        chunk = int(chunk)
-        if chunk < 1:
-            raise ParameterError(f"chunk must be >= 1, got {chunk}")
-        for start in range(0, n, chunk):
-            stop = min(start + chunk, n)
-            block = pts[start:stop]
-            d2 = (
-                np.sum(block * block, axis=1)[:, None]
-                + np.sum(pts * pts, axis=1)[None, :]
-                - 2.0 * (block @ pts.T)
-            )
-            np.maximum(d2, 0.0, out=d2)
-            d = np.sqrt(d2).ravel()
-            dt = np.abs(ts_vals[start:stop, None] - ts_vals[None, :]).ravel()
-            counts += _hist_counts(d, dt, s_ts, t_ts)
-    elif method == "grid":
-        smax = float(s_ts.max())
-        tmax = float(t_ts.max())
-        if smax <= 0.0:
-            return st_k_function(
-                pts, ts_vals, s_ts, t_ts, method="naive", include_self=include_self
-            )
-        index = GridIndex(pts, cell_size=smax)
-        counts = np.zeros((s_ts.shape[0], t_ts.shape[0]), dtype=np.int64)
-        for i in range(n):
-            nbr = index.range_indices(pts[i], smax)
-            if nbr.size == 0:
-                continue
-            dvec = np.sqrt(((pts[nbr] - pts[i]) ** 2).sum(axis=1))
-            dtvec = np.abs(ts_vals[nbr] - ts_vals[i])
-            near = dtvec <= tmax
-            counts += _hist_counts(dvec[near], dtvec[near], s_ts, t_ts)
-    else:
+    if method not in ("naive", "grid"):
         raise ParameterError(
             f"unknown ST K method {method!r}; available: {', '.join(ST_K_METHODS)}"
         )
 
-    if not include_self:
-        counts = counts - n  # the diagonal satisfies every (s, t) cell
-    return counts.astype(np.int64)
+    with obs.task("stk") as trace:
+        obs.count("stk.points", n)
+        obs.count(f"stk.method.{method}")
+        counts = _st_counts(
+            pts, ts_vals, s_ts, t_ts, method, chunk, workers, backend
+        )
+        if not include_self:
+            counts = counts - n  # the diagonal satisfies every (s, t) cell
+    return STKResult(
+        counts.astype(np.int64),
+        s_thresholds=s_ts,
+        t_thresholds=t_ts,
+        diagnostics=trace.diagnostics,
+    )
 
 
 @dataclass(frozen=True)
@@ -131,6 +209,7 @@ class STKFunctionPlot:
     lower: np.ndarray
     upper: np.ndarray
     n_simulations: int
+    diagnostics: "obs.Diagnostics | None" = None
 
     def clustered_mask(self) -> np.ndarray:
         """(M, T) mask of threshold cells with significant ST clustering."""
@@ -147,15 +226,17 @@ class STKFunctionPlot:
 def _st_csr_k_task(task):
     """One space-time null simulation of the ST-K surface (module-level)."""
     rng, null, pts, ts_vals, bbox, t_lo, t_hi, s_ts, t_ts, method, n = task
-    if null == "csr":
-        sim_pts = bbox.sample_uniform(n, rng)
-        sim_times = rng.uniform(t_lo, t_hi, size=n)
-    else:
-        sim_pts = pts
-        sim_times = rng.permutation(ts_vals)
-    return st_k_function(sim_pts, sim_times, s_ts, t_ts, method=method).astype(
-        np.float64
-    )
+    with obs.span("simulation"):
+        obs.count("stk.simulations")
+        if null == "csr":
+            sim_pts = bbox.sample_uniform(n, rng)
+            sim_times = rng.uniform(t_lo, t_hi, size=n)
+        else:
+            sim_pts = pts
+            sim_times = rng.permutation(ts_vals)
+        return st_k_function(sim_pts, sim_times, s_ts, t_ts, method=method).astype(
+            np.float64
+        )
 
 
 def st_k_function_plot(
@@ -196,17 +277,18 @@ def st_k_function_plot(
     if null not in ("csr", "permute"):
         raise ParameterError(f"null must be 'csr' or 'permute', got {null!r}")
 
-    observed = st_k_function(pts, ts_vals, s_ts, t_ts, method=method)
-    n = pts.shape[0]
-    t_lo, t_hi = float(ts_vals.min()), float(ts_vals.max())
+    with obs.task("stk.plot") as trace:
+        observed = st_k_function(pts, ts_vals, s_ts, t_ts, method=method)
+        n = pts.shape[0]
+        t_lo, t_hi = float(ts_vals.min()), float(ts_vals.max())
 
-    tasks = [
-        (rng, null, pts, ts_vals, bbox, t_lo, t_hi, s_ts, t_ts, method, n)
-        for rng in spawn_rngs(seed, n_simulations)
-    ]
-    sims = np.stack(
-        parallel_map(_st_csr_k_task, tasks, workers=workers, backend=backend)
-    )
+        tasks = [
+            (rng, null, pts, ts_vals, bbox, t_lo, t_hi, s_ts, t_ts, method, n)
+            for rng in spawn_rngs(seed, n_simulations)
+        ]
+        sims = np.stack(
+            parallel_map(_st_csr_k_task, tasks, workers=workers, backend=backend)
+        )
 
     return STKFunctionPlot(
         s_thresholds=s_ts,
@@ -215,4 +297,5 @@ def st_k_function_plot(
         lower=sims.min(axis=0),
         upper=sims.max(axis=0),
         n_simulations=n_simulations,
+        diagnostics=trace.diagnostics,
     )

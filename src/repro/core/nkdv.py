@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_positive
 from ..errors import ParameterError
 from ..parallel import parallel_map
@@ -44,12 +45,17 @@ NKDV_SPLITS = ("none", "equal")
 
 @dataclass(frozen=True)
 class NKDVResult:
-    """Per-lixel network densities plus the lixelization that defines them."""
+    """Per-lixel network densities plus the lixelization that defines them.
+
+    ``diagnostics`` is the optional :class:`repro.obs.Diagnostics` record
+    of the producing call (populated when tracing is enabled).
+    """
 
     lixels: Lixelization
     densities: np.ndarray
     bandwidth: float
     kernel_name: str
+    diagnostics: obs.Diagnostics | None = None
 
     @property
     def n_lixels(self) -> int:
@@ -166,6 +172,8 @@ def _scatter_event(
     near = d_lix <= cutoff
     if near.any():
         densities[near] += weight * kernel.evaluate(d_lix[near], bandwidth)
+        if obs.is_active():
+            obs.count("nkdv.lixel_scatters", int(near.sum()))
 
 
 def _scatter_event_split(
@@ -213,6 +221,8 @@ def _scatter_event_split(
     near = (d_lix <= cutoff) & (f_lix > 0.0)
     if near.any():
         densities[near] += weight * f_lix[near] * kernel.evaluate(d_lix[near], bandwidth)
+        if obs.is_active():
+            obs.count("nkdv.lixel_scatters", int(near.sum()))
 
 
 #: Events (``naive``) per parallel task.  Fixed constants — never derived
@@ -235,6 +245,12 @@ def _nkdv_block_task(task):
     (method, split, network, lixels, kern, bandwidth, cutoff,
      block, edges, offsets, w_of, lix_u, lix_v, lix_len) = task
     densities = np.zeros(lixels.n_lixels, dtype=np.float64)
+    if method == "naive":
+        obs.count("nkdv.events", len(block))
+    else:
+        obs.count("nkdv.edge_visits", len(block))
+        obs.count("nkdv.events",
+                  int(np.isin(edges, np.asarray(block)).sum()))
 
     if split == "equal":
         if method == "naive":
@@ -398,22 +414,26 @@ def nkdv(
     else:
         units = [int(e) for e in np.unique(edges)]
         per_task = _EDGES_PER_TASK
-    blocks = [units[i:i + per_task] for i in range(0, len(units), per_task)]
-    tasks = [
-        (method, split, network, lixels, kern, bandwidth, cutoff,
-         block, edges, offsets, w_of, lix_u, lix_v, lix_len)
-        for block in blocks
-    ]
-    partials = parallel_map(
-        _nkdv_block_task, tasks, workers=workers, backend=backend
-    )
-    densities = np.zeros(lixels.n_lixels, dtype=np.float64)
-    for partial in partials:  # fixed order: worker-count-invariant sums
-        densities += partial
+    with obs.task("nkdv") as trace:
+        obs.count("nkdv.lixels", lixels.n_lixels)
+        obs.count(f"nkdv.method.{method}")
+        blocks = [units[i:i + per_task] for i in range(0, len(units), per_task)]
+        tasks = [
+            (method, split, network, lixels, kern, bandwidth, cutoff,
+             block, edges, offsets, w_of, lix_u, lix_v, lix_len)
+            for block in blocks
+        ]
+        partials = parallel_map(
+            _nkdv_block_task, tasks, workers=workers, backend=backend
+        )
+        densities = np.zeros(lixels.n_lixels, dtype=np.float64)
+        for partial in partials:  # fixed order: worker-count-invariant sums
+            densities += partial
 
     return NKDVResult(
         lixels=lixels,
         densities=densities,
         bandwidth=bandwidth,
         kernel_name=kern.name,
+        diagnostics=trace.diagnostics,
     )

@@ -47,6 +47,7 @@ from math import comb
 
 import numpy as np
 
+from .. import obs
 from .._validation import as_points, as_timestamps, check_positive
 from ..errors import ParameterError
 from ..geometry import BoundingBox
@@ -72,11 +73,17 @@ _RECENTER_CUTOFFS = 4.0
 
 @dataclass(frozen=True)
 class STKDVResult:
-    """A stack of density frames over a common window and pixel lattice."""
+    """A stack of density frames over a common window and pixel lattice.
+
+    ``diagnostics`` is the optional :class:`repro.obs.Diagnostics` record
+    of the producing call (populated when tracing is enabled); it never
+    participates in numeric behaviour.
+    """
 
     bbox: BoundingBox
     times: np.ndarray
     values: np.ndarray  # (nx, ny, T)
+    diagnostics: obs.Diagnostics | None = None
 
     @property
     def n_frames(self) -> int:
@@ -119,9 +126,12 @@ def _temporal_cutoff(kernel: Kernel, bandwidth: float) -> float:
 def _naive_frame_task(task):
     """One naive STKDV frame (module-level for process-backend pickling)."""
     t, pts, ts_vals, bbox, size, b_s, b_t, k_s, k_t = task
-    w = k_t.evaluate(np.abs(ts_vals - t), b_t)
-    problem = KDVProblem(pts, bbox, size, b_s, k_s, weights=w)
-    return kde_naive(problem).values
+    with obs.span("stkdv.frame"):
+        obs.count("stkdv.frames")
+        obs.count("stkdv.points_scattered", pts.shape[0])
+        w = k_t.evaluate(np.abs(ts_vals - t), b_t)
+        problem = KDVProblem(pts, bbox, size, b_s, k_s, weights=w)
+        return kde_naive(problem).values
 
 
 def _window_frame_task(task):
@@ -129,19 +139,22 @@ def _window_frame_task(task):
     (t, sorted_pts, sorted_ts, bbox, size, b_s, b_t, k_s, k_t, cutoff,
      spatial_method) = task
     nx, ny = size
-    lo = np.searchsorted(sorted_ts, t - cutoff, side="left")
-    hi = np.searchsorted(sorted_ts, t + cutoff, side="right")
-    if lo >= hi:
-        return np.zeros((nx, ny), dtype=np.float64)
-    w = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
-    active = w > 0.0
-    if not active.any():
-        return np.zeros((nx, ny), dtype=np.float64)
-    problem = KDVProblem(
-        sorted_pts[lo:hi][active], bbox, size, b_s, k_s, weights=w[active]
-    )
-    spatial_pass = kde_sweep if spatial_method == "sweep" else kde_gridcut
-    return spatial_pass(problem).values
+    with obs.span("stkdv.frame"):
+        obs.count("stkdv.frames")
+        lo = np.searchsorted(sorted_ts, t - cutoff, side="left")
+        hi = np.searchsorted(sorted_ts, t + cutoff, side="right")
+        if lo >= hi:
+            return np.zeros((nx, ny), dtype=np.float64)
+        w = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
+        active = w > 0.0
+        if not active.any():
+            return np.zeros((nx, ny), dtype=np.float64)
+        obs.count("stkdv.points_scattered", int(active.sum()))
+        problem = KDVProblem(
+            sorted_pts[lo:hi][active], bbox, size, b_s, k_s, weights=w[active]
+        )
+        spatial_pass = kde_sweep if spatial_method == "sweep" else kde_gridcut
+        return spatial_pass(problem).values
 
 
 def _recenter_matrix(n_moments: int, delta: float) -> np.ndarray:
@@ -181,6 +194,7 @@ def _shared_frames(
     order = np.argsort(frames, kind="stable")
     out: list[np.ndarray | None] = [None] * frames.shape[0]
     lo = hi = 0
+    entering_n = leaving_n = recenterings = resets = 0
     # Temporal origin of the moment bank; drift-triggered re-referencing
     # keeps |t - origin| (and every accumulated time power) O(cutoff).
     origin = float(frames[order[0]])
@@ -191,18 +205,21 @@ def _shared_frames(
         if new_lo >= new_hi:
             # Empty window: drop any residue and re-anchor the origin.
             acc.reset()
+            resets += 1
             origin = t
             lo, hi = new_lo, new_hi
             out[j] = np.zeros((nx, ny), dtype=np.float64)
             continue
         if acc.n_points and abs(t - origin) > _RECENTER_CUTOFFS * cutoff:
             acc.recombine(_recenter_matrix(n_moments, t - origin))
+            recenterings += 1
             origin = t
         elif not acc.n_points:
             origin = t
         # Events leaving the support: in the old window but left of the new.
         drop_hi = min(new_lo, hi)
         if lo < drop_hi:
+            leaving_n += drop_hi - lo
             leaving = sorted_ts[lo:drop_hi] - origin
             acc.remove_weighted(
                 sorted_pts[lo:drop_hi],
@@ -211,6 +228,7 @@ def _shared_frames(
         # Events entering the support: in the new window but right of the old.
         add_lo = max(new_lo, hi)
         if add_lo < new_hi:
+            entering_n += new_hi - add_lo
             entering = sorted_ts[add_lo:new_hi] - origin
             acc.add_weighted(
                 sorted_pts[add_lo:new_hi],
@@ -223,6 +241,12 @@ def _shared_frames(
         # residue where the true density is ~0; clip it like the streaming
         # accumulator does.
         out[j] = np.maximum(acc.combine(alpha), 0.0)
+    obs.count("stkdv.frames", frames.shape[0])
+    obs.count("stkdv.events_entering", entering_n)
+    obs.count("stkdv.events_leaving", leaving_n)
+    obs.count("stkdv.points_scattered", entering_n)
+    obs.count("stkdv.recenterings", recenterings)
+    obs.count("stkdv.window_resets", resets)
     return out
 
 
@@ -313,34 +337,38 @@ def stkdv(
         raise ParameterError(
             f"spatial_method must be 'grid' or 'sweep', got {spatial_method!r}"
         )
-    if method == "naive":
-        tasks = [
-            (float(t), pts, ts_vals, bbox, (nx, ny), b_s, b_t, k_s, k_t)
-            for t in frames
-        ]
-        frame_values = parallel_map(
-            _naive_frame_task, tasks, workers=workers, backend=backend
-        )
-    elif method == "shared":
-        cutoff = _temporal_cutoff(k_t, b_t)
-        order = np.argsort(ts_vals, kind="stable")
-        frame_values = _shared_frames(
-            frames, pts[order], ts_vals[order], bbox, (nx, ny),
-            b_s, k_s, cutoff, expansion,
-        )
-    else:
-        cutoff = _temporal_cutoff(k_t, b_t)
-        order = np.argsort(ts_vals, kind="stable")
-        sorted_pts = pts[order]
-        sorted_ts = ts_vals[order]
-        tasks = [
-            (float(t), sorted_pts, sorted_ts, bbox, (nx, ny), b_s, b_t, k_s,
-             k_t, cutoff, spatial_method)
-            for t in frames
-        ]
-        frame_values = parallel_map(
-            _window_frame_task, tasks, workers=workers, backend=backend
-        )
+    with obs.task("stkdv") as trace:
+        obs.count("stkdv.points", pts.shape[0])
+        obs.count(f"stkdv.method.{method}")
+        if method == "naive":
+            tasks = [
+                (float(t), pts, ts_vals, bbox, (nx, ny), b_s, b_t, k_s, k_t)
+                for t in frames
+            ]
+            frame_values = parallel_map(
+                _naive_frame_task, tasks, workers=workers, backend=backend
+            )
+        elif method == "shared":
+            cutoff = _temporal_cutoff(k_t, b_t)
+            order = np.argsort(ts_vals, kind="stable")
+            frame_values = _shared_frames(
+                frames, pts[order], ts_vals[order], bbox, (nx, ny),
+                b_s, k_s, cutoff, expansion,
+            )
+        else:
+            cutoff = _temporal_cutoff(k_t, b_t)
+            order = np.argsort(ts_vals, kind="stable")
+            sorted_pts = pts[order]
+            sorted_ts = ts_vals[order]
+            tasks = [
+                (float(t), sorted_pts, sorted_ts, bbox, (nx, ny), b_s, b_t, k_s,
+                 k_t, cutoff, spatial_method)
+                for t in frames
+            ]
+            frame_values = parallel_map(
+                _window_frame_task, tasks, workers=workers, backend=backend
+            )
 
-    values = np.stack(frame_values, axis=2)
-    return STKDVResult(bbox=bbox, times=frames, values=values)
+        values = np.stack(frame_values, axis=2)
+    return STKDVResult(bbox=bbox, times=frames, values=values,
+                       diagnostics=trace.diagnostics)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._validation import as_timestamps, check_positive
 from ..errors import ParameterError
 from ..network import Lixelization, NetworkPosition, RoadNetwork, lixelize
@@ -28,11 +29,16 @@ __all__ = ["STNKDVResult", "stnkdv"]
 
 @dataclass(frozen=True)
 class STNKDVResult:
-    """Per-frame lixel densities over a road network."""
+    """Per-frame lixel densities over a road network.
+
+    ``diagnostics`` carries the :class:`repro.obs.Diagnostics` of the
+    producing call; ``None`` when tracing was disabled.
+    """
 
     lixels: Lixelization
     times: np.ndarray  # (T,)
     densities: np.ndarray  # (n_lixels, T)
+    diagnostics: "obs.Diagnostics | None" = None
 
     @property
     def n_frames(self) -> int:
@@ -70,6 +76,8 @@ def stnkdv(
     kernel_space: str | Kernel = "quartic",
     kernel_time: str | Kernel = "epanechnikov",
     method: str = "auto",
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> STNKDVResult:
     """Spatiotemporal network KDV over the given frame timestamps.
 
@@ -89,6 +97,9 @@ def stnkdv(
         Spatial (network) and temporal kernels.
     method:
         NKDV backend per frame (``naive`` / ``shared`` / ``auto``).
+    workers, backend:
+        Forwarded to the per-frame :func:`~repro.core.nkdv.nkdv` calls
+        (see :mod:`repro.parallel`); ``None`` uses the shared defaults.
     """
     if len(events) == 0:
         raise ParameterError("events must not be empty")
@@ -110,28 +121,36 @@ def stnkdv(
     sorted_events = [events[int(i)] for i in order]
     sorted_ts = ts_vals[order]
 
-    for j, t in enumerate(frames):
-        lo = int(np.searchsorted(sorted_ts, t - cutoff, side="left"))
-        hi = int(np.searchsorted(sorted_ts, t + cutoff, side="right"))
-        if lo >= hi:
-            continue
-        weights = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
-        active = weights > 0.0
-        if not active.any():
-            continue
-        frame_events = [
-            ev for ev, keep in zip(sorted_events[lo:hi], active) if keep
-        ]
-        result = nkdv(
-            network,
-            frame_events,
-            lixel_length,
-            bandwidth_space,
-            kernel=kernel_space,
-            method=method,
-            lixels=lixels,
-            event_weights=weights[active],
-        )
-        densities[:, j] = result.densities
+    with obs.task("stnkdv") as trace:
+        obs.count("stnkdv.events", len(events))
+        obs.count("stnkdv.frames", frames.size)
+        for j, t in enumerate(frames):
+            lo = int(np.searchsorted(sorted_ts, t - cutoff, side="left"))
+            hi = int(np.searchsorted(sorted_ts, t + cutoff, side="right"))
+            if lo >= hi:
+                continue
+            weights = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
+            active = weights > 0.0
+            if not active.any():
+                continue
+            frame_events = [
+                ev for ev, keep in zip(sorted_events[lo:hi], active) if keep
+            ]
+            result = nkdv(
+                network,
+                frame_events,
+                lixel_length,
+                bandwidth_space,
+                kernel=kernel_space,
+                method=method,
+                lixels=lixels,
+                event_weights=weights[active],
+                workers=workers,
+                backend=backend,
+            )
+            densities[:, j] = result.densities
 
-    return STNKDVResult(lixels=lixels, times=frames, densities=densities)
+    return STNKDVResult(
+        lixels=lixels, times=frames, densities=densities,
+        diagnostics=trace.diagnostics,
+    )

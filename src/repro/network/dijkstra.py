@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_non_negative
 from ..errors import NetworkError
 from .graph import NetworkPosition, RoadNetwork
@@ -78,10 +79,12 @@ def node_distances(
     adj_start = network.adj_start
     adj_node = network.adj_node
     adj_length = network.adj_length
+    pops = 0
     while heap:
         d, u = heapq.heappop(heap)
         if d > dist[u]:
             continue  # stale entry
+        pops += 1
         start, stop = adj_start[u], adj_start[u + 1]
         for k in range(start, stop):
             v = adj_node[k]
@@ -91,6 +94,10 @@ def node_distances(
             if nd < dist[v]:
                 dist[v] = nd
                 heapq.heappush(heap, (nd, int(v)))
+    if obs.is_active():
+        obs.count("dijkstra.runs")
+        obs.count("dijkstra.heap_pops", pops)
+        obs.count("dijkstra.settled_nodes", int(np.isfinite(dist).sum()))
     return dist
 
 
@@ -134,10 +141,12 @@ def node_distances_with_split(
     adj_start = network.adj_start
     adj_node = network.adj_node
     adj_length = network.adj_length
+    pops = 0
     while heap:
         d, u = heapq.heappop(heap)
         if d > dist[u]:
             continue
+        pops += 1
         # Mass leaving u splits over its other incident edges.
         out_split = factor[u] / max(network.degree(u) - 1, 1)
         start, stop = adj_start[u], adj_start[u + 1]
@@ -150,6 +159,10 @@ def node_distances_with_split(
                 dist[v] = nd
                 factor[v] = out_split
                 heapq.heappush(heap, (nd, int(v)))
+    if obs.is_active():
+        obs.count("dijkstra.runs")
+        obs.count("dijkstra.heap_pops", pops)
+        obs.count("dijkstra.settled_nodes", int(np.isfinite(dist).sum()))
     return dist, factor
 
 

@@ -1,0 +1,522 @@
+"""Observability: hierarchical spans, counters and gauges for every tool.
+
+PR 4's ``RefinementStats`` showed the value of per-run observability, but
+it was a one-off record on one backend.  This module generalises it into
+a library-wide tracing/metrics subsystem that every hot path reports
+into — KDV backends, STKDV/NKDV scatters, K-function Monte-Carlo loops,
+IDW/kriging query blocks, Dijkstra scans — surfaced uniformly through a
+:class:`Diagnostics` record on each result dataclass.
+
+Model
+-----
+A :class:`Collector` records a tree of *spans* (name + wall time + child
+spans), *counters* (monotonic integers attached to the innermost open
+span: points visited, nodes pruned, scatters, permutations, heap pops)
+and *gauges* (last-written floats, e.g. a tolerance actually used).
+A finished (sub)tree is snapshotted into a frozen :class:`Diagnostics`:
+same-named sibling spans are aggregated (``calls`` sums), counters roll
+up, and ``as_dict()`` emits a JSON-serialisable form.
+
+Worker safety and determinism
+-----------------------------
+Tracing honours the library's worker-invariance contract: when a
+collector is active, :func:`repro.parallel.parallel_map` routes **every**
+backend — including serial — through per-chunk worker collectors
+(:func:`_run_chunk_traced`) and merges them in chunk-index order, never
+completion order.  The chunk partition depends only on ``chunksize``, so
+the merged span structure and every counter are bit-identical for any
+``workers``/``backend`` combination.  (Wall-clock ``seconds`` are real
+measurements and naturally vary run to run; determinism covers the tree
+shape, ``calls`` and the counters.)
+
+Activation
+----------
+Disabled by default with a module-level no-op fast path (one
+``ContextVar`` read per event).  Enable with any of:
+
+* ``with obs.enabled() as trace:`` — collector for the block, current
+  thread only;
+* the ``REPRO_TRACE`` environment variable (any value but ``""``/``"0"``)
+  — installs a process-wide default collector at import;
+* the CLI's ``--trace`` flag, which prints the span tree (and can dump
+  the ``as_dict()`` JSON).
+
+Instrumented code never checks whether tracing is on: :func:`count`,
+:func:`gauge`, :func:`span` and :func:`task` are no-ops without an
+active collector.  Hot loops accumulate plain local integers and report
+them with a single :func:`count` call per block, keeping the disabled
+overhead far below the 5% guard in the benchmark suite.
+
+This is the only module allowed to call ``time.perf_counter`` /
+``time.monotonic`` (reprolint rule RPR010); all other timing goes
+through :class:`Stopwatch` or spans.
+"""
+
+from __future__ import annotations
+
+import os
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Mapping, Sequence
+
+__all__ = [
+    "Collector",
+    "Diagnostics",
+    "SpanNode",
+    "Stopwatch",
+    "activate",
+    "count",
+    "current",
+    "enabled",
+    "gauge",
+    "global_collector",
+    "is_active",
+    "set_global_collector",
+    "span",
+    "task",
+]
+
+_ENV_TRACE = "REPRO_TRACE"
+
+# The active collector for the current thread/context.  New threads (and
+# hence repro.parallel's pool workers) start with this unset, which is
+# exactly the isolation the per-chunk worker collectors rely on.
+_ACTIVE: ContextVar["Collector | None"] = ContextVar("repro_obs_collector",
+                                                     default=None)
+
+
+def _env_wants_trace() -> bool:
+    return os.environ.get(_ENV_TRACE, "").strip() not in ("", "0")
+
+
+class _Frame:
+    """One mutable span under construction (collector-internal)."""
+
+    __slots__ = ("name", "calls", "seconds", "counters", "gauges", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 1
+        self.seconds = 0.0
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.children: list[_Frame] = []
+
+
+@dataclass(frozen=True)
+class SpanNode:
+    """One aggregated node of a finished span tree.
+
+    ``calls`` counts how many same-named sibling spans were folded into
+    this node (e.g. 19 per-simulation spans aggregate to one node with
+    ``calls=19``); ``seconds`` and the counter/gauge maps are their sums
+    (gauges: last write wins).
+    """
+
+    name: str
+    calls: int
+    seconds: float
+    counters: Mapping[str, int]
+    gauges: Mapping[str, float]
+    children: tuple["SpanNode", ...]
+
+    def child(self, name: str) -> "SpanNode | None":
+        for node in self.children:
+            if node.name == name:
+                return node
+        return None
+
+    def total_counters(self) -> dict[str, int]:
+        """Counters summed over this node and every descendant."""
+        totals: dict[str, int] = {}
+        stack: list[SpanNode] = [self]
+        while stack:
+            node = stack.pop()
+            for key, value in node.counters.items():
+                totals[key] = totals.get(key, 0) + value
+            stack.extend(node.children)
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "children": [node.as_dict() for node in self.children],
+        }
+
+
+def _aggregate(frames: Sequence[_Frame]) -> tuple[SpanNode, ...]:
+    """Fold same-named sibling frames into SpanNodes, recursively.
+
+    Grouping preserves first-appearance order; because the parallel layer
+    merges worker collectors in chunk-index order, that order — and hence
+    the whole aggregated tree — is worker-invariant.
+    """
+    order: list[str] = []
+    groups: dict[str, list[_Frame]] = {}
+    for frame in frames:
+        if frame.name not in groups:
+            groups[frame.name] = []
+            order.append(frame.name)
+        groups[frame.name].append(frame)
+    nodes = []
+    for name in order:
+        group = groups[name]
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        children: list[_Frame] = []
+        for frame in group:
+            for key, value in frame.counters.items():
+                counters[key] = counters.get(key, 0) + value
+            gauges.update(frame.gauges)
+            children.extend(frame.children)
+        nodes.append(SpanNode(
+            name=name,
+            calls=sum(frame.calls for frame in group),
+            seconds=float(sum(frame.seconds for frame in group)),
+            counters=counters,
+            gauges=gauges,
+            children=_aggregate(children),
+        ))
+    return tuple(nodes)
+
+
+@dataclass(frozen=True)
+class Diagnostics:
+    """Frozen observability record attached to result dataclasses.
+
+    ``root`` is the aggregated span tree of the producing call; ``records``
+    carries tool-specific structured records (e.g. the dual-tree backend's
+    ``RefinementStats`` under ``"refinement"``).  Never participates in
+    numeric behaviour.
+    """
+
+    root: SpanNode
+    records: Mapping[str, object] = field(default_factory=dict)
+
+    def counters(self) -> dict[str, int]:
+        """All counters, summed over the whole span tree."""
+        return self.root.total_counters()
+
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters().get(name, default)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (records via their own ``as_dict``)."""
+        records = {}
+        for key, value in self.records.items():
+            records[key] = value.as_dict() if hasattr(value, "as_dict") else value
+        return {
+            "span": self.root.as_dict(),
+            "counters": self.counters(),
+            "records": records,
+        }
+
+    def format_tree(self) -> str:
+        """Human-readable span tree with per-span counters."""
+        lines: list[str] = []
+
+        def walk(node: SpanNode, depth: int) -> None:
+            label = node.name if node.calls == 1 else f"{node.name} x{node.calls}"
+            pad = max(1, 44 - 2 * depth - len(label))
+            lines.append(
+                f"{'  ' * depth}{label}{' ' * pad}{node.seconds * 1e3:10.2f} ms"
+            )
+            for key in sorted(node.counters):
+                lines.append(f"{'  ' * depth}  . {key} = {node.counters[key]}")
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    @classmethod
+    def from_records(cls, name: str, records: Mapping[str, object]
+                     ) -> "Diagnostics":
+        """A diagnostics record with no trace, only structured records.
+
+        Used by backends (dual-tree KDV) that always report a structured
+        record even when tracing is disabled.
+        """
+        root = SpanNode(name, 1, 0.0, {}, {}, ())
+        return cls(root=root, records=dict(records))
+
+
+class Collector:
+    """A mutable span/counter recorder.
+
+    Picklable (so per-chunk worker collectors survive the ``process``
+    backend) and cheap to create.  Not safe for *concurrent* writes from
+    multiple threads — the parallel layer gives each worker its own and
+    merges them in the caller, which is the supported pattern.
+    """
+
+    def __init__(self, name: str = "trace"):
+        self._root = _Frame(name)
+        self._stack: list[_Frame] = [self._root]
+        self.n_events = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        frame = self._stack[-1]
+        frame.counters[name] = frame.counters.get(name, 0) + int(n)
+        self.n_events += 1
+
+    def gauge(self, name: str, value: float) -> None:
+        self._stack[-1].gauges[name] = float(value)
+        self.n_events += 1
+
+    def _push(self, name: str) -> _Frame:
+        frame = _Frame(name)
+        self._stack[-1].children.append(frame)
+        self._stack.append(frame)
+        self.n_events += 1
+        return frame
+
+    def _pop(self, frame: _Frame, seconds: float) -> None:
+        # Tolerate unbalanced exits (an exception inside a span) by
+        # unwinding to the frame being closed.
+        while len(self._stack) > 1 and self._stack[-1] is not frame:
+            self._stack.pop()
+        if len(self._stack) > 1 and self._stack[-1] is frame:
+            self._stack.pop()
+        frame.seconds += seconds
+
+    # -- merging -----------------------------------------------------------
+
+    def absorb(self, other: "Collector") -> None:
+        """Merge a worker collector into the current open span.
+
+        Callers MUST absorb worker collectors in chunk-index order (never
+        completion order); :func:`repro.parallel.parallel_map` does.
+        """
+        frame = self._stack[-1]
+        root = other._root
+        for key, value in root.counters.items():
+            frame.counters[key] = frame.counters.get(key, 0) + value
+        frame.gauges.update(root.gauges)
+        frame.children.extend(root.children)
+        self.n_events += other.n_events
+
+    # -- snapshot ----------------------------------------------------------
+
+    def diagnostics(self, records: Mapping[str, object] | None = None
+                    ) -> Diagnostics:
+        """Snapshot the whole recorded tree into a frozen Diagnostics."""
+        (root,) = _aggregate([self._root])
+        return Diagnostics(root=root, records=dict(records or {}))
+
+    def __getstate__(self):
+        return {"root": self._root, "stack_depth": len(self._stack),
+                "n_events": self.n_events}
+
+    def __setstate__(self, state):
+        self._root = state["root"]
+        self._stack = [self._root]
+        self.n_events = state["n_events"]
+
+
+# Process-wide default collector, installed when REPRO_TRACE is set (or
+# via set_global_collector).  The context-local collector, when set,
+# always takes precedence — that is what keeps pool workers isolated.
+_GLOBAL: Collector | None = Collector() if _env_wants_trace() else None
+
+
+def global_collector() -> Collector | None:
+    """The process-wide default collector (``REPRO_TRACE``), if any."""
+    return _GLOBAL
+
+
+def set_global_collector(collector: Collector | None) -> Collector | None:
+    """Install (or clear, with ``None``) the process-wide collector."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = collector
+    return previous
+
+
+def current() -> Collector | None:
+    """The collector events record into here, or ``None`` when disabled."""
+    collector = _ACTIVE.get()
+    return _GLOBAL if collector is None else collector
+
+
+def is_active() -> bool:
+    """True when a collector (context-local or global) is receiving events."""
+    return _ACTIVE.get() is not None or _GLOBAL is not None
+
+
+def count(name: str, n: int = 1) -> None:
+    """Add ``n`` to the named monotonic counter (no-op when disabled).
+
+    Counters attach to the innermost open span.  Hot loops should
+    accumulate a local integer and call this once per block — counter
+    totals are then worker-invariant and the disabled cost is one
+    function call per block.
+    """
+    collector = _ACTIVE.get()
+    if collector is None:
+        collector = _GLOBAL
+        if collector is None:
+            return
+    collector.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a last-write-wins float (no-op when disabled)."""
+    collector = _ACTIVE.get()
+    if collector is None:
+        collector = _GLOBAL
+        if collector is None:
+            return
+    collector.gauge(name, value)
+
+
+class span:
+    """Context manager opening a named span (no-op when disabled).
+
+    ``with obs.span("execute"): ...`` — nested spans build the tree.
+    """
+
+    __slots__ = ("name", "_collector", "_frame", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self) -> "span":
+        collector = _ACTIVE.get()
+        if collector is None:
+            collector = _GLOBAL
+        self._collector = collector
+        if collector is not None:
+            self._frame = collector._push(self.name)
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._collector is not None:
+            self._collector._pop(self._frame, perf_counter() - self._t0)
+        return False
+
+
+class task:
+    """Span for a public entry point that yields a :class:`Diagnostics`.
+
+    Usage::
+
+        with obs.task("kdv") as t:
+            values = ...
+            t.record("refinement", stats)     # optional structured record
+        return DensityGrid(bbox, values, diagnostics=t.diagnostics)
+
+    ``t.diagnostics`` is a snapshot of the task's own subtree, or ``None``
+    when tracing is disabled (unless structured records were attached, in
+    which case a trace-less Diagnostics still carries them).
+    """
+
+    __slots__ = ("name", "diagnostics", "_collector", "_frame", "_t0",
+                 "_records")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.diagnostics: Diagnostics | None = None
+        self._records: dict[str, object] = {}
+
+    def record(self, key: str, value: object) -> None:
+        """Attach a structured record (kept even when tracing is off)."""
+        self._records[key] = value
+
+    def __enter__(self) -> "task":
+        collector = _ACTIVE.get()
+        if collector is None:
+            collector = _GLOBAL
+        self._collector = collector
+        if collector is not None:
+            self._frame = collector._push(self.name)
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._collector is not None:
+            frame = self._frame
+            self._collector._pop(frame, perf_counter() - self._t0)
+            (root,) = _aggregate([frame])
+            self.diagnostics = Diagnostics(root=root,
+                                           records=dict(self._records))
+        elif self._records:
+            self.diagnostics = Diagnostics.from_records(self.name,
+                                                        self._records)
+        return False
+
+
+class activate:
+    """Make ``collector`` the active one for the with-block (this context)."""
+
+    __slots__ = ("collector", "_token")
+
+    def __init__(self, collector: Collector):
+        self.collector = collector
+
+    def __enter__(self) -> Collector:
+        self._token = _ACTIVE.set(self.collector)
+        return self.collector
+
+    def __exit__(self, *exc) -> bool:
+        _ACTIVE.reset(self._token)
+        return False
+
+
+class enabled(activate):
+    """Enable tracing for the with-block, yielding a fresh collector.
+
+    ::
+
+        with obs.enabled() as trace:
+            grid = repro.kde_grid(...)
+        print(trace.diagnostics().format_tree())
+    """
+
+    __slots__ = ()
+
+    def __init__(self, collector: Collector | None = None):
+        super().__init__(collector if collector is not None else Collector())
+
+
+class Stopwatch:
+    """Wall-clock interval timer (the one sanctioned perf_counter user).
+
+    ``with Stopwatch() as sw: ...`` then read ``sw.seconds``.  Re-entering
+    accumulates, so one stopwatch can time a multi-burst phase.
+    """
+
+    __slots__ = ("seconds", "_t0")
+
+    def __init__(self):
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds += perf_counter() - self._t0
+        return False
+
+
+def _run_chunk_traced(fn: Callable, chunk: Sequence) -> tuple[list, Collector]:
+    """Worker-side chunk runner for traced execution (module-level so the
+    ``process`` backend can pickle it).
+
+    Records into a fresh chunk-local collector — never the parent's, and
+    never the worker process's own ``REPRO_TRACE`` global — and returns it
+    alongside the results for deterministic chunk-order merging.
+    """
+    collector = Collector()
+    with activate(collector):
+        results = [fn(item) for item in chunk]
+    return results, collector

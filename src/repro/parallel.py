@@ -31,6 +31,11 @@ count and backend, including ``workers=1``** — parallelism changes
 wall-time only, never output.  Callers that reduce by floating-point
 summation must additionally keep their chunking worker-invariant (pass a
 fixed ``chunksize``); see ``docs/PERFORMANCE.md``.
+
+**Tracing.**  When a :mod:`repro.obs` collector is active, every map —
+serial included — runs through per-chunk worker collectors merged in
+chunk-index order, so traces obey the same worker-invariance contract as
+the numeric results (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from . import obs
 from .errors import ParameterError
 
 __all__ = [
@@ -191,9 +197,9 @@ def _call_thunk(fn: Callable) -> object:
 def parallel_map(
     fn: Callable,
     items: Iterable,
+    chunksize: int = 1,
     workers: int | None = None,
     backend: str | None = None,
-    chunksize: int = 1,
 ) -> list:
     """Ordered map over ``items``: ``[fn(x) for x in items]``, in parallel.
 
@@ -227,6 +233,9 @@ def parallel_map(
     if chunksize < 1:
         raise ParameterError(f"chunksize must be >= 1, got {chunksize}")
 
+    if obs.is_active():
+        return _map_traced(fn, items, workers, backend, chunksize)
+
     if backend == "serial" or workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
 
@@ -241,12 +250,41 @@ def parallel_map(
     return out
 
 
+def _map_traced(
+    fn: Callable, items: list, workers: int, backend: str, chunksize: int
+) -> list:
+    """Ordered map with per-chunk trace collection (obs active).
+
+    Every backend — serial included — runs the same chunk partition
+    through :func:`repro.obs._run_chunk_traced` (a fresh worker-local
+    collector per chunk) and merges the collectors in chunk-index order,
+    never completion order.  The partition depends only on ``chunksize``,
+    so the merged span tree and all counters are bit-identical for any
+    ``workers``/``backend`` combination, matching the numeric contract.
+    """
+    chunks = [items[i:i + chunksize] for i in range(0, len(items), chunksize)]
+    if backend == "serial" or workers == 1 or len(chunks) <= 1:
+        pairs = [obs._run_chunk_traced(fn, chunk) for chunk in chunks]
+    else:
+        pool_cls = (ThreadPoolExecutor if backend == "thread"
+                    else ProcessPoolExecutor)
+        with pool_cls(max_workers=min(workers, len(chunks))) as pool:
+            pairs = list(pool.map(obs._run_chunk_traced,
+                                  [fn] * len(chunks), chunks))
+    collector = obs.current()
+    out: list = []
+    for chunk_result, chunk_collector in pairs:
+        out.extend(chunk_result)
+        collector.absorb(chunk_collector)
+    return out
+
+
 def parallel_starmap(
     fn: Callable,
     argtuples: Iterable[Sequence],
+    chunksize: int = 1,
     workers: int | None = None,
     backend: str | None = None,
-    chunksize: int = 1,
 ) -> list:
     """Ordered starmap: ``[fn(*args) for args in argtuples]``, in parallel.
 

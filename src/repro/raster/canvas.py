@@ -8,12 +8,14 @@ convention of :meth:`repro.geometry.BoundingBox.pixel_centers`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import DataError, ParameterError
 from ..geometry import BoundingBox
+from ..obs import Diagnostics
 
 __all__ = ["DensityGrid"]
 
@@ -22,15 +24,17 @@ __all__ = ["DensityGrid"]
 class DensityGrid:
     """Raster of per-pixel values over a bounding box.
 
-    ``stats`` is an optional observability record attached by the backend
-    that produced the grid (e.g. the dual-tree KDV backend's
-    ``RefinementStats``); it is ``None`` for backends that do not report
-    one and never participates in numeric behaviour.
+    ``diagnostics`` is an optional :class:`repro.obs.Diagnostics` record
+    attached by the backend that produced the grid (span tree + counters,
+    plus structured records such as the dual-tree backend's
+    ``RefinementStats`` under ``records["refinement"]``); it is ``None``
+    for backends that do not report one and never participates in
+    numeric behaviour.
     """
 
     bbox: BoundingBox
     values: np.ndarray
-    stats: object | None = None
+    diagnostics: Diagnostics | None = None
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.values, dtype=np.float64)
@@ -39,6 +43,22 @@ class DensityGrid:
         if not np.all(np.isfinite(arr)):
             raise DataError("density grid contains non-finite values")
         object.__setattr__(self, "values", arr)
+
+    @property
+    def stats(self):
+        """Deprecated alias for the dual-tree ``RefinementStats`` record.
+
+        Use ``grid.diagnostics.records["refinement"]`` instead.
+        """
+        warnings.warn(
+            "DensityGrid.stats is deprecated; use "
+            "DensityGrid.diagnostics.records['refinement']",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self.diagnostics is None:
+            return None
+        return self.diagnostics.records.get("refinement")
 
     # -- shape ----------------------------------------------------------------
 

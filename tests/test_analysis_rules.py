@@ -330,6 +330,41 @@ class TestRPR009SharedExecutor:
         assert "RPR009" not in ids_of(analyze_source(src))
 
 
+class TestRPR010TimingDiscipline:
+    def test_flags_perf_counter_call(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR010"]
+        assert len(found) == 1
+        assert "obs.span" in found[0].message
+
+    def test_flags_monotonic_call(self):
+        src = "import time\nstart = time.monotonic()\n"
+        assert "RPR010" in ids_of(analyze_source(src))
+
+    def test_flags_ns_variants(self):
+        src = "import time\na = time.perf_counter_ns()\nb = time.monotonic_ns()\n"
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR010"]
+        assert len(found) == 2
+
+    def test_flags_from_import(self):
+        src = "from time import perf_counter\n"
+        assert "RPR010" in ids_of(analyze_source(src))
+
+    def test_obs_module_is_exempt(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        found = analyze_source(src, path="src/repro/obs.py")
+        assert "RPR010" not in ids_of(found)
+
+    def test_wall_clock_time_is_clean(self):
+        # time.time()/sleep() are not monotonic-clock reads.
+        src = "import time\nnow = time.time()\ntime.sleep(0)\n"
+        assert "RPR010" not in ids_of(analyze_source(src))
+
+    def test_plain_time_import_is_clean(self):
+        src = "from time import sleep\nimport time\n"
+        assert "RPR010" not in ids_of(analyze_source(src))
+
+
 class TestParseErrors:
     def test_syntax_error_becomes_rpr000(self):
         found = analyze_source("def broken(:\n")

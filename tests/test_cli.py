@@ -248,3 +248,67 @@ class TestStkdvCommand:
             )
         assert exc.value.code == 2
         assert "positive integer" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_kdv_trace_prints_span_tree(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5",
+             "--size", "32x24", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "kdv.points" in out
+
+    def test_trace_json_dump(self, events_csv, tmp_path, capsys):
+        import json
+
+        dump = tmp_path / "trace.json"
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5",
+             "--size", "32x24", "--trace-json", str(dump)]
+        )
+        assert code == 0
+        payload = json.loads(dump.read_text())
+        assert payload["counters"]
+        assert payload["span"]["name"] == "trace"
+
+    def test_kfunction_trace_counts_simulations(self, events_csv, capsys):
+        code = main(
+            ["kfunction", str(events_csv), "--simulations", "5",
+             "--seed", "3", "--trace"]
+        )
+        assert code == 0
+        assert "kfunction.simulations = 5" in capsys.readouterr().out
+
+    def test_stkdv_trace(self, st_events_csv, capsys):
+        code = main(
+            ["stkdv", str(st_events_csv), "--bandwidth-space", "1.5",
+             "--bandwidth-time", "20", "--frames", "2",
+             "--size", "16x12", "--trace"]
+        )
+        assert code == 0
+        assert "stkdv.points" in capsys.readouterr().out
+
+    def test_trace_counters_worker_invariant(self, events_csv, capsys):
+        outputs = []
+        for workers in ("1", "2", "4"):
+            code = main(
+                ["kdv", str(events_csv), "--bandwidth", "1.5",
+                 "--size", "32x24", "--workers", workers, "--trace"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            counters = [line.strip() for line in out.splitlines()
+                        if line.strip().startswith(". ")]
+            assert counters
+            outputs.append(counters)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_trace_off_no_tree(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "32x24"]
+        )
+        assert code == 0
+        assert "trace:" not in capsys.readouterr().out

@@ -105,7 +105,8 @@ class TestDualTreeWeighted:
         problem = KDVProblem(small_points, bbox, SIZE, BW, "gaussian", weights=w)
         got = kde_dualtree(problem, tau=0.1)
         assert np.array_equal(got.values, np.zeros(SIZE))
-        assert got.stats is not None
+        assert got.diagnostics is not None
+        assert got.diagnostics.records.get("refinement") is not None
 
     def test_sparse_weights_prune_zero_mass(self, bbox, rng):
         """Zero-weight points contribute nothing, including at tau=0."""
@@ -159,7 +160,7 @@ class TestRefinementStats:
     def test_stats_attached_and_sane(self, clustered_points, bbox):
         problem = KDVProblem(clustered_points, bbox, SIZE, BW, "gaussian")
         grid = kde_dualtree(problem, tau=0.1)
-        s = grid.stats
+        s = grid.diagnostics.records["refinement"]
         assert isinstance(s, RefinementStats)
         assert s.pairs_visited > 0
         assert s.n_tiles >= 1
@@ -172,7 +173,7 @@ class TestRefinementStats:
 
     def test_stats_as_dict_roundtrip(self, small_points, bbox):
         problem = KDVProblem(small_points, bbox, SIZE, BW, "quartic")
-        s = kde_dualtree(problem, tau=0.1).stats
+        s = kde_dualtree(problem, tau=0.1).diagnostics.records["refinement"]
         d = s.as_dict()
         assert d["pairs_visited"] == s.pairs_visited
         assert set(d) == {
@@ -183,18 +184,30 @@ class TestRefinementStats:
 
     def test_other_backends_attach_no_stats(self, small_points, bbox):
         problem = KDVProblem(small_points, bbox, SIZE, BW, "quartic")
-        assert kde_naive(problem).stats is None
+        grid = kde_naive(problem)
+        diag = grid.diagnostics
+        assert diag is None or diag.records.get("refinement") is None
+
+    def test_deprecated_stats_alias(self, small_points, bbox):
+        """`DensityGrid.stats` still works but warns; use `.diagnostics`."""
+        problem = KDVProblem(small_points, bbox, SIZE, BW, "quartic")
+        grid = kde_dualtree(problem, tau=0.1)
+        with pytest.warns(DeprecationWarning, match="diagnostics"):
+            s = grid.stats
+        assert s is grid.diagnostics.records["refinement"]
 
     def test_survives_normalize(self, clustered_points, bbox):
         grid = kde_grid(
             clustered_points, bbox, SIZE, BW,
             method="dualtree", tau=0.1, normalize=True,
         )
-        assert isinstance(grid.stats, RefinementStats)
+        assert isinstance(
+            grid.diagnostics.records["refinement"], RefinementStats
+        )
 
     def test_exact_run_has_no_bulk_accepts_for_gaussian(self, small_points, bbox):
         problem = KDVProblem(small_points, bbox, SIZE, BW, "gaussian")
-        s = kde_dualtree(problem, tau=0.0).stats
+        s = kde_dualtree(problem, tau=0.0).diagnostics.records["refinement"]
         # Gaussian bounds are never exactly equal over a non-degenerate
         # pair, so tau=0 forces every pair down to leaf-leaf scans.
         assert s.leaf_leaf_scans > 0

@@ -269,10 +269,10 @@ class TestDualTreeDeterminism:
 
         ref = kde_grid(crime.points, crime.bbox, (48, 32), 2.0,
                        method="dualtree", tau=0.2, workers=1,
-                       backend="serial").stats
+                       backend="serial").diagnostics.records["refinement"]
         got = kde_grid(crime.points, crime.bbox, (48, 32), 2.0,
                        method="dualtree", tau=0.2, workers=4,
-                       backend="thread").stats
+                       backend="thread").diagnostics.records["refinement"]
         assert got.pairs_visited == ref.pairs_visited
         assert got.tiles_bulk_accepted == ref.tiles_bulk_accepted
         assert got.leaf_leaf_scans == ref.leaf_leaf_scans
@@ -290,3 +290,95 @@ class TestSeedConvention:
                             seed=np.random.SeedSequence(SEED), workers=2)
         assert np.array_equal(a.lower, b.lower)
         assert np.array_equal(a.upper, b.upper)
+
+
+class TestTraceDeterminism:
+    """Merged obs counters and span trees are bit-identical for every
+    workers/backend combination (the trace side of the contract)."""
+
+    TRACE_GRID = [(1, "serial"), (2, "serial"), (2, "thread"), (4, "thread")]
+
+    @staticmethod
+    def _shape(node):
+        """Span tree with wall-clock seconds stripped (names/calls/counters
+        are deterministic; measured time is not)."""
+        return (node["name"], node["calls"], tuple(sorted(node["counters"].items())),
+                tuple(TestTraceDeterminism._shape(c) for c in node["children"]))
+
+    def _trace(self, fn):
+        from repro import obs
+
+        out = []
+        for workers, backend in self.TRACE_GRID:
+            with obs.enabled() as trace:
+                fn(workers, backend)
+            diag = trace.diagnostics()
+            out.append((diag.counters(), self._shape(diag.root.as_dict())))
+        return out
+
+    def _assert_invariant(self, traces):
+        ref_counters, ref_shape = traces[0]
+        assert any(ref_counters.values()), "trace collected no counters"
+        for counters, shape in traces[1:]:
+            assert counters == ref_counters
+            assert shape == ref_shape
+
+    def test_kde_grid_trace(self, crime):
+        from repro.core.kdv import kde_grid
+
+        self._assert_invariant(self._trace(
+            lambda w, b: kde_grid(crime.points, crime.bbox, (32, 24), 2.0,
+                                  method="parallel", workers=w, backend=b)
+        ))
+
+    def test_dualtree_trace(self, crime):
+        from repro.core.kdv import kde_grid
+
+        self._assert_invariant(self._trace(
+            lambda w, b: kde_grid(crime.points, crime.bbox, (32, 24), 2.0,
+                                  method="dualtree", tau=0.2, workers=w,
+                                  backend=b)
+        ))
+
+    def test_stkdv_trace(self, covid):
+        self._assert_invariant(self._trace(
+            lambda w, b: stkdv(covid.points, covid.times, covid.bbox,
+                               (16, 12), np.linspace(0.5, 3.5, 3), 1.5, 1.0,
+                               workers=w, backend=b)
+        ))
+
+    def test_k_function_plot_trace(self, crime):
+        ts = np.linspace(0.5, 3.0, 4)
+        self._assert_invariant(self._trace(
+            lambda w, b: k_function_plot(crime.points, crime.bbox, ts,
+                                         n_simulations=9, seed=SEED,
+                                         workers=w, backend=b)
+        ))
+
+    def test_network_k_trace(self, road):
+        from repro.core.kfunction import network_k_function
+
+        network, events = road
+        ts = np.linspace(0.5, 2.5, 4)
+        self._assert_invariant(self._trace(
+            lambda w, b: network_k_function(network, events, ts,
+                                            workers=w, backend=b)
+        ))
+
+    def test_st_k_trace(self, covid):
+        from repro.core.kfunction import st_k_function
+
+        self._assert_invariant(self._trace(
+            lambda w, b: st_k_function(covid.points, covid.times,
+                                       np.linspace(0.5, 2.5, 3),
+                                       np.linspace(0.5, 1.5, 3),
+                                       workers=w, backend=b)
+        ))
+
+    def test_morans_i_trace(self, crime):
+        weights = knn_weights(crime.points, k=6)
+        values = crime.points[:, 0] + crime.points[:, 1]
+        self._assert_invariant(self._trace(
+            lambda w, b: morans_i(values, weights, permutations=99, seed=SEED,
+                                  workers=w, backend=b)
+        ))
