@@ -18,7 +18,13 @@ from typing import Iterable
 from ..errors import AnalysisError
 from .violations import Violation
 
-__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline"]
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "save_entries",
+    "write_baseline",
+]
 
 #: Current on-disk format version.
 BASELINE_VERSION = 1
@@ -157,6 +163,16 @@ def write_baseline(
                 justification=PLACEHOLDER_JUSTIFICATION,
             )
     entries = [keep[key] for key in sorted(keep)]
+    return save_entries(path, entries)
+
+
+def save_entries(path: str | Path, entries: Iterable[BaselineEntry]) -> Baseline:
+    """Write a baseline file containing exactly ``entries``.
+
+    The primitive shared by ``--write-baseline`` (grow/refresh) and
+    ``--prune-baseline`` (shrink): it performs no matching of its own.
+    """
+    entries = list(entries)
     payload = {
         "version": BASELINE_VERSION,
         "entries": [entry.to_dict() for entry in entries],

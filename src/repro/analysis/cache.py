@@ -1,0 +1,165 @@
+"""On-disk analysis cache: warm reprolint runs skip re-analysis.
+
+The cache maps ``(file content hash, rule-set digest)`` to the raw
+findings for that file, plus one project-level entry keyed by the digest
+of *every* file hash (so any edit anywhere invalidates the cross-module
+findings, which is the only sound granularity for project rules).
+Findings are cached **pre-triage**: pragmas and the baseline are cheap
+and re-applied on every run, so editing a pragma or the baseline file
+takes effect without invalidating the cache.
+
+The file is JSON next to the baseline (default
+``.reprolint-cache.json``), written atomically, and self-invalidating:
+a version or rule-set mismatch discards it wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .violations import Violation
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_NAME",
+    "content_hash",
+    "project_digest",
+    "ruleset_digest",
+]
+
+#: On-disk schema version; bump to invalidate every existing cache.
+CACHE_VERSION = 1
+
+#: Cache filename used when the CLI is not told otherwise.
+DEFAULT_CACHE_NAME = ".reprolint-cache.json"
+
+
+def content_hash(source: str) -> str:
+    """Stable hex digest of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def ruleset_digest(rules: Sequence) -> str:
+    """Digest of the enabled rule set (ids + per-rule versions).
+
+    Bumping a rule's ``version`` class attribute invalidates cached
+    findings for that rule set without touching the schema version.
+    """
+    parts = sorted(f"{r.rule_id}:{getattr(r, 'version', 1)}" for r in rules)
+    payload = ",".join(parts) + f"|schema={CACHE_VERSION}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def project_digest(file_hashes: Iterable[tuple[str, str]], ruleset: str) -> str:
+    """Digest over every ``(relpath, content hash)`` pair plus the rule set."""
+    hasher = hashlib.sha256()
+    for relpath, sha in sorted(file_hashes):
+        hasher.update(f"{relpath}\x00{sha}\x00".encode("utf-8"))
+    hasher.update(ruleset.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class AnalysisCache:
+    """Load/store cached findings for one ``(path, rule set)`` pair."""
+
+    def __init__(self, path: str | Path, ruleset: str) -> None:
+        """Open the cache at ``path``; mismatched caches start empty."""
+        self.path = Path(path)
+        self.ruleset = ruleset
+        self._dirty = False
+        self._files: dict[str, dict] = {}
+        self._project: dict | None = None
+        payload = self._load()
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == CACHE_VERSION
+            and payload.get("ruleset") == ruleset
+        ):
+            files = payload.get("files")
+            if isinstance(files, dict):
+                self._files = files
+            project = payload.get("project")
+            if isinstance(project, dict):
+                self._project = project
+
+    def _load(self) -> object | None:
+        try:
+            return json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # A missing or corrupt cache is never an error — it just
+            # means a cold run.
+            return None
+
+    # -- per-file entries ---------------------------------------------------
+
+    def get_file(self, relpath: str, sha: str) -> list[Violation] | None:
+        """Cached findings for an unchanged file, else ``None``."""
+        entry = self._files.get(relpath)
+        if not entry or entry.get("sha") != sha:
+            return None
+        try:
+            return [Violation.from_dict(d) for d in entry["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_file(self, relpath: str, sha: str, findings: Sequence[Violation]) -> None:
+        """Record the findings for one analysed file."""
+        self._files[relpath] = {
+            "sha": sha,
+            "findings": [v.to_dict() for v in findings],
+        }
+        self._dirty = True
+
+    # -- project entry ------------------------------------------------------
+
+    def get_project(self, digest: str) -> list[Violation] | None:
+        """Cached cross-module findings for an unchanged tree, else None."""
+        if not self._project or self._project.get("digest") != digest:
+            return None
+        try:
+            return [Violation.from_dict(d) for d in self._project["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_project(self, digest: str, findings: Sequence[Violation]) -> None:
+        """Record the cross-module findings for the current tree state."""
+        self._project = {
+            "digest": digest,
+            "findings": [v.to_dict() for v in findings],
+        }
+        self._dirty = True
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically write the cache when anything changed."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "ruleset": self.ruleset,
+            "files": self._files,
+            "project": self._project,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            # Caching is best-effort: an unwritable location (read-only
+            # checkout, full disk) must not fail the lint run.
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    return
+            return
+        self._dirty = False

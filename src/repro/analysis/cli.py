@@ -1,7 +1,8 @@
 """reprolint command line: ``python -m repro.analysis [paths] [options]``.
 
 Exit codes: 0 — clean (possibly via baseline/pragmas), 1 — active
-violations found, 2 — configuration or usage error.
+violations found (or, with ``--prune-baseline``, stale entries pruned),
+2 — configuration or usage error.
 """
 
 from __future__ import annotations
@@ -11,11 +12,12 @@ import sys
 from pathlib import Path
 
 from ..errors import AnalysisError
-from .baseline import Baseline, load_baseline, write_baseline
+from .baseline import Baseline, load_baseline, save_entries, write_baseline
+from .cache import DEFAULT_CACHE_NAME
 from .config import DEFAULT_BASELINE_NAME, LintConfig, find_project_root, load_config
 from .engine import analyze_paths
 from .registry import all_rules, get_rule
-from .reporting import render_json, render_text
+from .reporting import render_json, render_sarif, render_text
 
 __all__ = ["main", "build_parser"]
 
@@ -25,8 +27,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "reprolint: AST-based static analysis enforcing the repro "
-            "library's numerical-safety and API contracts."
+            "reprolint: two-phase AST static analysis enforcing the repro "
+            "library's determinism, parallelism and observability contracts."
         ),
     )
     parser.add_argument(
@@ -36,9 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif targets code scanning)",
     )
     parser.add_argument(
         "--baseline",
@@ -55,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept all current active violations into the baseline file",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "drop baseline entries whose violation no longer fires; exits "
+            "non-zero when stale entries had to be pruned (CI fails until "
+            "the shrunken baseline is committed)"
+        ),
+    )
+    parser.add_argument(
         "--select",
         metavar="RULES",
         help="comma-separated rule ids to run exclusively (e.g. RPR003,RPR006)",
@@ -63,6 +74,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--disable",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report findings only for git-changed files (diff vs HEAD plus "
+            "untracked); the full tree is still indexed so cross-module "
+            "rules stay sound"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk analysis cache for this run",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help=f"cache file location (default: <root>/{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker count for the file-analysis fan-out through "
+            "repro.parallel (default: REPRO_WORKERS, else 1)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend for the fan-out (default: REPRO_BACKEND)",
     )
     parser.add_argument(
         "--no-config",
@@ -115,6 +161,15 @@ def _resolve_baseline(
     return (load_baseline(path) if path.exists() else None), path
 
 
+def _resolve_cache(args: argparse.Namespace, config: LintConfig) -> Path | None:
+    """The cache file to use, or None when caching is off."""
+    if args.no_cache:
+        return None
+    if args.cache:
+        return Path(args.cache)
+    return config.root / DEFAULT_CACHE_NAME
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -123,13 +178,29 @@ def main(argv: list[str] | None = None) -> int:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.name:26s} {rule.summary}")
         return 0
+    if args.prune_baseline and args.changed_only:
+        print(
+            "reprolint: error: --prune-baseline needs a full run; drop "
+            "--changed-only",
+            file=sys.stderr,
+        )
+        return 2
     paths = args.paths or _default_paths()
     try:
         root = find_project_root(paths[0] if Path(paths[0]).exists() else Path.cwd())
         config = LintConfig(root=root) if args.no_config else load_config(root)
         rules = _resolve_rules(args)
         baseline, baseline_path = _resolve_baseline(args, config)
-        result = analyze_paths(paths, config=config, rules=rules, baseline=baseline)
+        result = analyze_paths(
+            paths,
+            config=config,
+            rules=rules,
+            baseline=baseline,
+            workers=args.workers,
+            backend=args.backend,
+            cache_path=_resolve_cache(args, config),
+            changed_only=args.changed_only,
+        )
         if args.write_baseline:
             accepted = result.violations + result.baselined
             write_baseline(baseline_path, accepted, existing=baseline)
@@ -138,11 +209,43 @@ def main(argv: list[str] | None = None) -> int:
                 f"edit the justifications before committing"
             )
             return 0
+        if args.prune_baseline:
+            return _prune_baseline(result, baseline, baseline_path)
     except AnalysisError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
-    report = render_json(result) if args.format == "json" else render_text(
-        result, verbose=args.verbose
-    )
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result, verbose=args.verbose)
     print(report)
     return 0 if result.ok else 1
+
+
+def _prune_baseline(result, baseline: Baseline | None, baseline_path: Path) -> int:
+    """Drop stale baseline entries; non-zero exit when any were pruned."""
+    if baseline is None:
+        print("no baseline file; nothing to prune")
+        return 0 if result.ok else 1
+    stale = {entry.fingerprint() for entry in result.unused_baseline}
+    if not stale:
+        print(
+            f"baseline {baseline_path} is minimal "
+            f"({len(baseline.entries)} entries, none stale)"
+        )
+        return 0 if result.ok else 1
+    kept = [e for e in baseline.entries if e.fingerprint() not in stale]
+    save_entries(baseline_path, kept)
+    for entry in result.unused_baseline:
+        print(
+            f"pruned stale baseline entry {entry.rule}:{entry.path}"
+            f":{entry.symbol}"
+        )
+    print(
+        f"pruned {len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'} "
+        f"from {baseline_path} ({len(kept)} remain); commit the shrunken "
+        f"baseline"
+    )
+    return 1

@@ -13,7 +13,10 @@ from typing import Iterator
 
 __all__ = ["ModuleContext", "parse_pragmas", "attach_parents", "qualname_of"]
 
-_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=((?:[A-Za-z0-9_]+\s*,\s*)*[A-Za-z0-9_]+)")
+
+#: Tokens accepted inside a pragma: rule ids or the ``all`` wildcard.
+_PRAGMA_TOKEN_RE = re.compile(r"^(?:RPR\d{3}|ALL)$")
 
 #: Attribute name used to stash parent pointers on AST nodes.
 _PARENT_ATTR = "_reprolint_parent"
@@ -23,21 +26,23 @@ def parse_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
     """Map 1-based line numbers to the rule ids disabled on that line.
 
     The pragma grammar is ``# reprolint: disable=RPR003`` with an optional
-    comma-separated list (``disable=RPR003,RPR007``) or the wildcard
-    ``disable=all``.  A pragma only silences findings reported on its own
-    physical line.
+    comma-separated list (``disable=RPR003,RPR007``, spaces allowed
+    around the commas) or the wildcard ``disable=all``.  Multiple pragmas
+    on one line are unioned, and tokens that are not rule ids (e.g. a
+    trailing justification) are ignored rather than silently treated as
+    ids.  A pragma only silences findings reported on its own physical
+    line.
     """
     pragmas: dict[int, frozenset[str]] = {}
     for lineno, line in enumerate(lines, start=1):
-        match = _PRAGMA_RE.search(line)
-        if match:
-            ids = frozenset(
-                token.strip().upper()
-                for token in match.group(1).split(",")
-                if token.strip()
-            )
-            if ids:
-                pragmas[lineno] = ids
+        ids: set[str] = set()
+        for match in _PRAGMA_RE.finditer(line):
+            for token in match.group(1).split(","):
+                token = token.strip().upper()
+                if _PRAGMA_TOKEN_RE.match(token):
+                    ids.add(token)
+        if ids:
+            pragmas[lineno] = frozenset(ids)
     return pragmas
 
 

@@ -10,9 +10,13 @@ from __future__ import annotations
 from . import (  # noqa: F401  (imported for their registration side effect)
     api_surface,
     code_hygiene,
+    deprecation_contracts,
+    determinism_contracts,
     error_discipline,
     kernel_contracts,
     parallel_discipline,
+    purity_contracts,
+    span_discipline,
     timing_discipline,
     validation_contracts,
 )
@@ -20,9 +24,13 @@ from . import (  # noqa: F401  (imported for their registration side effect)
 __all__ = [
     "api_surface",
     "code_hygiene",
+    "deprecation_contracts",
+    "determinism_contracts",
     "error_discipline",
     "kernel_contracts",
     "parallel_discipline",
+    "purity_contracts",
+    "span_discipline",
     "timing_discipline",
     "validation_contracts",
 ]

@@ -1,0 +1,165 @@
+"""RPR014 — no new call sites on deprecated symbols.
+
+Runtime ``DeprecationWarning``s only fire on paths that execute; this
+rule makes the deprecation table in :mod:`repro.analysis.project`
+enforceable at every file on every commit.  Attribute deprecations
+(``DensityGrid.stats``) use the index's return annotations plus the
+def-use summaries for a light local type inference: an expression is
+treated as a ``DensityGrid`` when it is (or was assigned from) a call to
+the class itself or to a project function annotated ``-> DensityGrid``.
+Function deprecations flag resolved calls and explicit imports.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    ProjectRule,
+    deprecations,
+)
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["DeprecatedSymbolRule"]
+
+
+def _annotation_names(annotation: str) -> set[str]:
+    """Identifier tokens of a return annotation (handles Optional/quotes)."""
+    return set(re.findall(r"[A-Za-z_]\w*", annotation))
+
+
+@register
+class DeprecatedSymbolRule(ProjectRule):
+    """Uses of registered deprecated symbols are flagged at the use site."""
+
+    rule_id = "RPR014"
+    name = "deprecated-symbol"
+    summary = (
+        "symbol is deprecated (see the registered replacement); new code "
+        "must use the replacement so the alias can be removed"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        """Scan every module for deprecated attribute/function usage."""
+        table = deprecations()
+        attr_entries = [d for d in table if d.kind == "attribute"]
+        func_entries = {d.qualname: d for d in table if d.kind == "function"}
+        attr_names = {d.attr for d in attr_entries}
+        for name in sorted(index.modules):
+            module = index.modules[name]
+            if attr_entries:
+                yield from self._check_attributes(
+                    index, module, attr_entries, attr_names
+                )
+            if func_entries:
+                yield from self._check_functions(index, module, func_entries)
+
+    # -- attribute deprecations ---------------------------------------------
+
+    def _check_attributes(
+        self, index: ProjectIndex, module: ModuleInfo, entries, attr_names
+    ) -> Iterator[Violation]:
+        """Flag ``expr.attr`` loads whose inferred type matches an entry."""
+        scopes = self._scopes(module)
+        for node in module.ctx.walk():
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in attr_names or not isinstance(node.ctx, ast.Load):
+                continue
+            inferred = self._infer_type(index, module, scopes, node.value)
+            if inferred is None:
+                continue
+            for entry in entries:
+                if entry.attr == node.attr and entry.owner == inferred:
+                    yield self.project_violation(
+                        module,
+                        node,
+                        f"{entry.owner}.{entry.attr} is deprecated since "
+                        f"{entry.since}; use {entry.replacement}",
+                    )
+
+    def _scopes(self, module: ModuleInfo) -> dict[str, ast.AST]:
+        """Name -> last assigned call expression, across module scopes.
+
+        A single flat map is a deliberate approximation: shadowing across
+        functions could in principle cross-talk, but names assigned from
+        a ``DensityGrid``-returning call are overwhelmingly grid locals.
+        """
+        assigned: dict[str, ast.AST] = dict(module.assignments)
+        for node in module.ctx.walk():
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigned[target.id] = node.value
+        return assigned
+
+    def _infer_type(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        scopes: dict[str, ast.AST],
+        expr: ast.AST,
+    ) -> str | None:
+        """Class name an expression statically evaluates to, if known."""
+        if isinstance(expr, ast.Name):
+            value = scopes.get(expr.id)
+            if isinstance(value, ast.Call):
+                return self._call_type(index, module, value)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_type(index, module, expr)
+        return None
+
+    def _call_type(
+        self, index: ProjectIndex, module: ModuleInfo, call: ast.Call
+    ) -> str | None:
+        """Type produced by a call: constructor name or return annotation."""
+        dotted = index.dotted_for(module, call.func)
+        if dotted is None:
+            return None
+        target = index.resolve(dotted)
+        if isinstance(target, ast.ClassDef):
+            return target.name
+        if isinstance(target, FunctionInfo) and target.returns:
+            # Single-class annotations only: "DensityGrid",
+            # "Optional[DensityGrid]", '"DensityGrid"'.
+            names = _annotation_names(target.returns)
+            candidates = names - {"Optional", "None", "Union", "tuple", "list", "dict"}
+            if len(candidates) == 1:
+                return next(iter(candidates))
+        return None
+
+    # -- function deprecations ----------------------------------------------
+
+    def _check_functions(
+        self, index: ProjectIndex, module: ModuleInfo, entries
+    ) -> Iterator[Violation]:
+        """Flag resolved calls to and imports of deprecated callables."""
+        for node in module.ctx.walk():
+            if isinstance(node, ast.Call):
+                dotted = index.dotted_for(module, node.func)
+                entry = entries.get(dotted) if dotted else None
+                if entry is not None:
+                    yield self.project_violation(
+                        module,
+                        node,
+                        f"{entry.qualname} is deprecated since "
+                        f"{entry.since}; use {entry.replacement}",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    dotted = f"{node.module}.{alias.name}" if node.module else alias.name
+                    entry = entries.get(dotted)
+                    if entry is not None:
+                        yield self.project_violation(
+                            module,
+                            node,
+                            f"import of deprecated {entry.qualname} (since "
+                            f"{entry.since}); use {entry.replacement}",
+                        )

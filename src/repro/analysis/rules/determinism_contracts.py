@@ -1,0 +1,218 @@
+"""RPR011/RPR012 — the static half of the determinism contract.
+
+RPR011 (kwarg forwarding) encodes the lesson of the ``else 4`` regression:
+a function that accepts ``seed``/``workers``/``backend`` is a link in the
+chain that carries the caller's reproducibility intent down to
+:mod:`repro.parallel`, and the chain breaks silently when a link hardcodes
+the value or drops it before a callee that accepts it.  The rule walks the
+resolved call graph and, per forwardable parameter, checks each project
+call site either passes the parameter (or something derived from it via
+the def-use summary) or does not pretend to.
+
+RPR012 (seeded RNG) bans unseeded randomness outside tests/benchmarks:
+``np.random.default_rng()`` with no seed, and the legacy global-state
+``np.random.*`` API entirely — both make results irreproducible and the
+legacy API additionally shares state across workers, breaking the
+worker-invariance contract (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..project import ProjectIndex, ProjectRule
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["KwargForwardingRule", "SeededRngRule"]
+
+#: The reproducibility-carrying parameters the forwarding rule tracks.
+FORWARDABLE_PARAMS = ("backend", "seed", "workers")
+
+
+@register
+class KwargForwardingRule(ProjectRule):
+    """Forward ``seed``/``workers``/``backend`` — never hardcode or drop."""
+
+    rule_id = "RPR011"
+    name = "kwarg-forwarding"
+    summary = (
+        "functions accepting seed/workers/backend must forward them to "
+        "callees that accept them; hardcoding or dropping breaks the "
+        "caller's reproducibility intent"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        """Check every resolved call edge for forwarding discipline."""
+        for fn in index.iter_functions():
+            forwardable = [p for p in FORWARDABLE_PARAMS if fn.accepts(p)]
+            if not forwardable:
+                continue
+            summary = fn.summary
+            for call in summary.calls:
+                callee = index.resolve_call(fn.module, call)
+                if callee is None or callee.node is fn.node:
+                    continue
+                unpacks = any(kw.arg is None for kw in call.keywords) or any(
+                    isinstance(a, ast.Starred) for a in call.args
+                )
+                for param in forwardable:
+                    if not callee.accepts(param):
+                        continue
+                    supplied = self._supplied_value(call, callee, param)
+                    if supplied is None:
+                        if unpacks:
+                            continue
+                        if self._any_arg_derived(summary, call, param):
+                            continue
+                        yield self.project_violation(
+                            fn.module,
+                            call,
+                            f"call to {callee.name}() drops {param!r}: the "
+                            f"enclosing function accepts {param} but does "
+                            f"not pass it (or anything derived from it) to "
+                            f"a callee that accepts it",
+                        )
+                    elif (
+                        isinstance(supplied, ast.Constant)
+                        and supplied.value is not None
+                    ):
+                        yield self.project_violation(
+                            fn.module,
+                            call,
+                            f"call to {callee.name}() hardcodes "
+                            f"{param}={supplied.value!r} while the enclosing "
+                            f"function accepts {param}; forward the caller's "
+                            f"value instead",
+                        )
+
+    @staticmethod
+    def _supplied_value(call: ast.Call, callee, param: str) -> ast.AST | None:
+        """The expression passed for ``param`` at this call site, if any."""
+        for kw in call.keywords:
+            if kw.arg == param:
+                return kw.value
+        slot = callee.positional_index(param)
+        if slot is not None and slot < len(call.args):
+            arg = call.args[slot]
+            if not isinstance(arg, ast.Starred) and not any(
+                isinstance(a, ast.Starred) for a in call.args[:slot]
+            ):
+                return arg
+        return None
+
+    @staticmethod
+    def _any_arg_derived(summary, call: ast.Call, param: str) -> bool:
+        """True when any argument expression is derived from ``param``."""
+        exprs = [*call.args, *(kw.value for kw in call.keywords)]
+        return any(
+            summary.expr_derived_from(expr, param)
+            for expr in exprs
+            if not isinstance(expr, ast.Starred)
+        )
+
+
+#: Legacy global-state ``numpy.random`` entry points (non-exhaustive on
+#: purpose: anything here is enough to prove the module uses shared
+#: global RNG state).
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "poisson",
+        "exponential",
+        "beta",
+        "gamma",
+        "binomial",
+        "multivariate_normal",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+#: Path fragments exempt from RPR012 (reproducibility harnesses own
+#: their seeds; ad-hoc randomness there is deliberate).
+_EXEMPT_FRAGMENTS = ("tests/", "benchmarks/", "examples/")
+
+
+@register
+class SeededRngRule(ProjectRule):
+    """No unseeded or legacy-global RNG outside tests and benchmarks."""
+
+    rule_id = "RPR012"
+    name = "seeded-rng"
+    summary = (
+        "library code must thread an explicit seed/SeedSequence: no "
+        "np.random.default_rng() without a seed and no legacy global "
+        "np.random.* API"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        """Scan every module's calls for unseeded RNG construction."""
+        for name in sorted(index.modules):
+            module = index.modules[name]
+            path = module.ctx.path.replace("\\", "/")
+            if any(frag in path for frag in _EXEMPT_FRAGMENTS):
+                continue
+            if path.rsplit("/", 1)[-1].startswith(("test_", "bench_")):
+                continue
+            for node in module.ctx.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = index.dotted_for(module, node.func)
+                if dotted is None:
+                    continue
+                if dotted == "numpy.random.default_rng":
+                    if self._is_unseeded(node):
+                        yield self.project_violation(
+                            module,
+                            node,
+                            "np.random.default_rng() without a seed draws "
+                            "OS entropy; accept a seed kwarg and thread it "
+                            "(repro.parallel.spawn_rngs for fan-out)",
+                        )
+                elif (
+                    dotted.startswith("numpy.random.")
+                    and dotted.split(".")[-1] in _LEGACY_NP_RANDOM
+                ):
+                    yield self.project_violation(
+                        module,
+                        node,
+                        f"legacy global-state np.random."
+                        f"{dotted.split('.')[-1]} call; use a Generator "
+                        "threaded from an explicit seed "
+                        "(np.random.default_rng(seed) / spawn_rngs)",
+                    )
+
+    @staticmethod
+    def _is_unseeded(call: ast.Call) -> bool:
+        """True for ``default_rng()`` / ``default_rng(None)`` forms."""
+        if any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        ):
+            return False
+        seed_expr: ast.AST | None = None
+        if call.args:
+            seed_expr = call.args[0]
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                seed_expr = kw.value
+        if seed_expr is None:
+            return True
+        return isinstance(seed_expr, ast.Constant) and seed_expr.value is None

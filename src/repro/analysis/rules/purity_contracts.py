@@ -1,0 +1,147 @@
+"""RPR013 — worker callables dispatched via repro.parallel stay pure.
+
+The bit-identity suite proves at runtime that results are invariant to
+worker count and backend; that proof silently assumes the dispatched
+callables are pure.  A worker that writes a module global, mutates
+closed-over state or touches ``os.environ`` behaves differently under
+the process backend (each worker has its own copy) than under
+serial/thread (shared state), which is exactly the class of bug the
+runtime suite can only catch for the worker counts it samples.  This
+rule is the static complement: it resolves the callable at every
+``parallel_map``/``parallel_starmap``/``parallel_submit`` call site and
+flags impure statements inside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..dataflow import FunctionSummary
+from ..project import FunctionInfo, ModuleInfo, ProjectIndex, ProjectRule
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["WorkerPurityRule"]
+
+#: Dotted paths of the shared-executor dispatch helpers.
+_DISPATCHERS = frozenset(
+    {
+        "repro.parallel.parallel_map",
+        "repro.parallel.parallel_starmap",
+        "repro.parallel.parallel_submit",
+    }
+)
+
+
+@register
+class WorkerPurityRule(ProjectRule):
+    """Callables handed to the shared executor must be side-effect free."""
+
+    rule_id = "RPR013"
+    name = "worker-purity"
+    summary = (
+        "callables dispatched through repro.parallel must not write "
+        "module globals, mutate closed-over state or touch os.environ — "
+        "impurity diverges across backends"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        """Resolve worker callables at dispatch sites and audit them."""
+        seen: set[tuple[str, int, int, str]] = set()
+        for name in sorted(index.modules):
+            module = index.modules[name]
+            for node in module.ctx.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = index.dotted_for(module, node.func)
+                if dotted not in _DISPATCHERS:
+                    continue
+                for worker_module, summary, qualname in self._workers(
+                    index, module, node
+                ):
+                    for violation in self._audit(
+                        worker_module, summary, qualname
+                    ):
+                        key = (
+                            violation.path,
+                            violation.line,
+                            violation.col,
+                            violation.message,
+                        )
+                        if key not in seen:
+                            seen.add(key)
+                            yield violation
+
+    def _workers(
+        self, index: ProjectIndex, module: ModuleInfo, call: ast.Call
+    ) -> Iterator[tuple[ModuleInfo, FunctionSummary, str]]:
+        """Summaries of the callables a dispatch call hands out.
+
+        Resolves the common shapes — a named project function, an inline
+        lambda, and (for ``parallel_submit``) a literal list of either.
+        Opaque expressions (variables holding callables, ``partial``
+        objects) are skipped: the rule under-approximates rather than
+        guesses.
+        """
+        if not call.args:
+            return
+        first = call.args[0]
+        candidates: list[ast.AST] = [first]
+        if isinstance(first, (ast.List, ast.Tuple)):
+            candidates = list(first.elts)
+        elif isinstance(first, (ast.ListComp, ast.GeneratorExp)):
+            candidates = [first.elt]
+        for expr in candidates:
+            if isinstance(expr, ast.Lambda):
+                yield module, FunctionSummary(
+                    expr,
+                    aliases=module.import_aliases,
+                    module_roots=module.module_aliases,
+                ), module.ctx.qualname(expr)
+            else:
+                target = None
+                dotted = index.dotted_for(module, expr)
+                if dotted is not None:
+                    target = index.resolve(dotted)
+                if isinstance(target, FunctionInfo):
+                    yield target.module, target.summary, target.qualname
+
+    def _audit(
+        self, module: ModuleInfo, summary: FunctionSummary, qualname: str
+    ) -> Iterator[Violation]:
+        """Findings for one worker callable's summary."""
+        for effect in summary.free_effects:
+            if effect.kind == "mutate":
+                detail = (
+                    f"calls .{effect.via}() on {effect.name!r}, which is "
+                    "not local to the worker"
+                )
+            else:
+                detail = f"writes {effect.name!r}, which is not local to the worker"
+            yield Violation(
+                rule_id=self.rule_id,
+                path=module.ctx.path,
+                line=getattr(effect.node, "lineno", 1),
+                col=getattr(effect.node, "col_offset", 0),
+                message=(
+                    f"worker callable {qualname}() {detail}; workers must "
+                    "return results, not share state (process backends "
+                    "silently drop such writes)"
+                ),
+                symbol=qualname,
+            )
+        for node, kind in summary.env_effects:
+            verb = "writes" if kind == "write" else "reads"
+            yield Violation(
+                rule_id=self.rule_id,
+                path=module.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=(
+                    f"worker callable {qualname}() {verb} os.environ; "
+                    "resolve configuration before dispatch and pass it as "
+                    "an argument"
+                ),
+                symbol=qualname,
+            )

@@ -1,0 +1,133 @@
+"""RPR015 — parallel dispatch under ``repro/core`` runs inside a span.
+
+The observability contract (``docs/OBSERVABILITY.md``) promises that
+every hot path is visible in the trace; a ``parallel_map`` call outside
+any ``obs.span``/``obs.task`` is a hot path the trace cannot attribute —
+its worker collectors get absorbed into whatever span happens to be
+open in the caller, or silently dropped at top level.  This rule checks,
+lexically within the enclosing function, that every shared-executor
+dispatch in a core module is wrapped in a span (a justified
+``# reprolint: disable=RPR015`` pragma is the documented escape hatch
+for sites whose span is guaranteed by their only caller).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["SpanDisciplineRule"]
+
+#: Path fragment selecting the modules this rule covers.
+_CORE_FRAGMENT = "repro/core/"
+
+#: Names of the shared-executor dispatch helpers.
+_DISPATCH_NAMES = frozenset(
+    {"parallel_map", "parallel_starmap", "parallel_submit"}
+)
+
+#: ``repro.obs`` context managers that open a span.
+_SPAN_NAMES = frozenset({"span", "task"})
+
+_PARENT_ATTR = "_reprolint_parent"
+
+
+def _dispatch_aliases(ctx: ModuleContext) -> set[str]:
+    """Local names bound to parallel_map/parallel_starmap/parallel_submit."""
+    names: set[str] = set()
+    for node in ctx.walk():
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "parallel" or module.endswith(".parallel") or (
+                node.level > 0 and module == ""
+            ):
+                for alias in node.names:
+                    if alias.name in _DISPATCH_NAMES:
+                        names.add(alias.asname or alias.name)
+    return names
+
+
+def _is_dispatch_call(node: ast.Call, aliases: set[str]) -> bool:
+    """True for calls to a dispatch helper (bare name or ``parallel.`` attr)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in aliases
+    if isinstance(func, ast.Attribute) and func.attr in _DISPATCH_NAMES:
+        base = func.value
+        return isinstance(base, ast.Name) and base.id == "parallel"
+    return False
+
+
+def _opens_span(expr: ast.AST) -> bool:
+    """True when a with-item context expression opens an obs span."""
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Attribute) and func.attr in _SPAN_NAMES:
+        base = func.value
+        return isinstance(base, ast.Name) and base.id == "obs"
+    if isinstance(func, ast.Name):
+        return func.id in _SPAN_NAMES
+    return False
+
+
+def _inside_span(node: ast.AST) -> bool:
+    """Climb lexical parents (stopping at the enclosing def) for a span.
+
+    A ``with`` outside the enclosing function does not dynamically wrap
+    the function's execution, so the climb stops at the first def/class
+    boundary; module-level code may rely on a module-level ``with``.
+    """
+    current = getattr(node, _PARENT_ATTR, None)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            if any(_opens_span(item.context_expr) for item in current.items):
+                return True
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            return False
+        current = getattr(current, _PARENT_ATTR, None)
+    return False
+
+
+@register
+class SpanDisciplineRule(Rule):
+    """Core-module parallel dispatches are span-wrapped for the trace."""
+
+    rule_id = "RPR015"
+    name = "span-discipline"
+    summary = (
+        "parallel_map/parallel_starmap calls under repro/core must run "
+        "inside an obs.span/obs.task so the trace attributes the hot path"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag unwrapped dispatch calls in ``repro/core`` modules."""
+        path = ctx.path.replace("\\", "/")
+        if _CORE_FRAGMENT not in path:
+            return
+        aliases = _dispatch_aliases(ctx)
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_dispatch_call(node, aliases):
+                continue
+            if _inside_span(node):
+                continue
+            helper = (
+                node.func.id
+                if isinstance(node.func, ast.Name)
+                else node.func.attr
+            )
+            yield self.violation(
+                ctx,
+                node,
+                f"{helper}() dispatch outside any obs.span/obs.task; wrap "
+                "the hot path in a span so the trace can attribute its "
+                "workers (docs/OBSERVABILITY.md)",
+            )

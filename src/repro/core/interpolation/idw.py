@@ -131,9 +131,12 @@ def idw_predict(
         p_sq = np.sum(pts * pts, axis=1)
         spans = chunk_ranges(q.shape[0], int(chunk))
         tasks = [(q[a:b], pts, p_sq, z, power) for a, b in spans]
-        return np.concatenate(
-            parallel_map(_idw_naive_block, tasks, workers=workers, backend=backend)
-        )
+        with obs.span("idw.predict.naive"):
+            return np.concatenate(
+                parallel_map(
+                    _idw_naive_block, tasks, workers=workers, backend=backend
+                )
+            )
 
     if method == "knn":
         k = int(k)
@@ -142,9 +145,12 @@ def idw_predict(
         tree = KDTree(pts)
         spans = chunk_ranges(q.shape[0], 256)
         tasks = [(q[a:b], tree, z, power, k) for a, b in spans]
-        return np.concatenate(
-            parallel_map(_idw_knn_block, tasks, workers=workers, backend=backend)
-        )
+        with obs.span("idw.predict.knn"):
+            return np.concatenate(
+                parallel_map(
+                    _idw_knn_block, tasks, workers=workers, backend=backend
+                )
+            )
 
     if method == "cutoff":
         if radius is None:
@@ -153,9 +159,12 @@ def idw_predict(
         tree = KDTree(pts)
         spans = chunk_ranges(q.shape[0], 256)
         tasks = [(q[a:b], tree, pts, z, power, radius) for a, b in spans]
-        return np.concatenate(
-            parallel_map(_idw_cutoff_block, tasks, workers=workers, backend=backend)
-        )
+        with obs.span("idw.predict.cutoff"):
+            return np.concatenate(
+                parallel_map(
+                    _idw_cutoff_block, tasks, workers=workers, backend=backend
+                )
+            )
 
     raise ParameterError(
         f"unknown IDW method {method!r}; available: {', '.join(IDW_METHODS)}"

@@ -67,12 +67,13 @@ def kde_parallel(problem: KDVProblem, workers: int | None = 4, backend: str | No
     edges = np.linspace(0, ny, bands + 1).astype(int)
     spans = [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a]
 
-    results = parallel_starmap(
-        _band,
-        [(problem, xs, ys, j_lo, j_hi) for j_lo, j_hi in spans],
-        workers=workers,
-        backend=backend,
-    )
+    with obs.span("kdv.bands"):
+        results = parallel_starmap(
+            _band,
+            [(problem, xs, ys, j_lo, j_hi) for j_lo, j_hi in spans],
+            workers=workers,
+            backend=backend,
+        )
     values = np.empty((problem.nx, ny), dtype=np.float64)
     for (j_lo, j_hi), band in zip(spans, results):
         values[:, j_lo:j_hi] = band

@@ -146,7 +146,10 @@ def _simulate_csr_curves(
     """
     rngs = spawn_rngs(seed, n_simulations)
     tasks = [(rng, bbox, n, ts, method, include_self) for rng in rngs]
-    curves = parallel_map(_csr_k_task, tasks, workers=workers, backend=backend)
+    with obs.span("kfunction.simulate"):
+        curves = parallel_map(
+            _csr_k_task, tasks, workers=workers, backend=backend
+        )
     return np.vstack(curves)
 
 

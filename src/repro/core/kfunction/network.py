@@ -120,10 +120,11 @@ def _pair_distance_counts_shared(
         (network, int(edge), edges, offsets, thresholds, smax)
         for edge in np.unique(edges)
     ]
-    partials = parallel_map(
-        _shared_edge_task, tasks, workers=workers, backend=backend,
-        chunksize=_EDGE_CHUNK,
-    )
+    with obs.span("netk.pairs.shared"):
+        partials = parallel_map(
+            _shared_edge_task, tasks, workers=workers, backend=backend,
+            chunksize=_EDGE_CHUNK,
+        )
     counts = np.zeros(thresholds.shape[0], dtype=np.int64)
     for part in partials:
         counts += part
@@ -169,10 +170,11 @@ def _pair_distance_counts_naive(
         (network, i, edges, offsets, thresholds, smax)
         for i in range(edges.shape[0])
     ]
-    partials = parallel_map(
-        _naive_event_task, tasks, workers=workers, backend=backend,
-        chunksize=_EVENT_CHUNK,
-    )
+    with obs.span("netk.pairs.naive"):
+        partials = parallel_map(
+            _naive_event_task, tasks, workers=workers, backend=backend,
+            chunksize=_EVENT_CHUNK,
+        )
     counts = np.zeros(thresholds.shape[0], dtype=np.int64)
     for part in partials:
         counts += part
@@ -319,7 +321,9 @@ def network_k_function_plot(
         raise ParameterError(f"n_simulations must be >= 1, got {n_simulations}")
 
     with obs.task("netk.plot") as trace:
-        observed = network_k_function(network, events, ts, method=method)
+        observed = network_k_function(
+            network, events, ts, method=method, workers=workers, backend=backend
+        )
         n = len(events)
         tasks = [
             (rng, network, n, ts, method)

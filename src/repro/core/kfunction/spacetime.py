@@ -70,13 +70,12 @@ def _st_naive_block_task(task):
     """Counts from one row block of the naive O(n^2) scan (module-level)."""
     pts, ts_vals, s_ts, t_ts, start, stop = task
     block = pts[start:stop]
-    d2 = (
-        np.sum(block * block, axis=1)[:, None]
-        + np.sum(pts * pts, axis=1)[None, :]
-        - 2.0 * (block @ pts.T)
-    )
-    np.maximum(d2, 0.0, out=d2)
-    d = np.sqrt(d2).ravel()
+    # Difference form, not the |a|^2 + |b|^2 - 2ab expansion: the latter
+    # loses ulps, so a pair at distance exactly equal to a threshold can
+    # land in a different cell than under the grid backend's (exact for
+    # representable coordinates) difference form.
+    diff = block[:, None, :] - pts[None, :, :]
+    d = np.sqrt((diff * diff).sum(axis=2)).ravel()
     dt = np.abs(ts_vals[start:stop, None] - ts_vals[None, :]).ravel()
     obs.count("stk.pairs_binned", d.shape[0])
     return _hist_counts(d, dt, s_ts, t_ts)
@@ -122,9 +121,10 @@ def _st_counts(
             (pts, ts_vals, s_ts, t_ts, start, min(start + chunk, n))
             for start in range(0, n, chunk)
         ]
-        partials = parallel_map(
-            _st_naive_block_task, tasks, workers=workers, backend=backend
-        )
+        with obs.span("stk.counts.naive"):
+            partials = parallel_map(
+                _st_naive_block_task, tasks, workers=workers, backend=backend
+            )
     else:  # "grid" — validated by the caller
         smax = float(s_ts.max())
         tmax = float(t_ts.max())
@@ -139,9 +139,10 @@ def _st_counts(
              min(start + _GRID_BLOCK, n))
             for start in range(0, n, _GRID_BLOCK)
         ]
-        partials = parallel_map(
-            _st_grid_block_task, tasks, workers=workers, backend=backend
-        )
+        with obs.span("stk.counts.grid"):
+            partials = parallel_map(
+                _st_grid_block_task, tasks, workers=workers, backend=backend
+            )
     counts = np.zeros((s_ts.shape[0], t_ts.shape[0]), dtype=np.int64)
     for part in partials:
         counts += part
@@ -278,7 +279,10 @@ def st_k_function_plot(
         raise ParameterError(f"null must be 'csr' or 'permute', got {null!r}")
 
     with obs.task("stk.plot") as trace:
-        observed = st_k_function(pts, ts_vals, s_ts, t_ts, method=method)
+        observed = st_k_function(
+            pts, ts_vals, s_ts, t_ts, method=method,
+            workers=workers, backend=backend,
+        )
         n = pts.shape[0]
         t_lo, t_hi = float(ts_vals.min()), float(ts_vals.max())
 

@@ -365,6 +365,314 @@ class TestRPR010TimingDiscipline:
         assert "RPR010" not in ids_of(analyze_source(src))
 
 
+class TestRPR011KwargForwarding:
+    def test_flags_dropped_parameter(self):
+        src = (
+            "def inner(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return data\n"
+            "def outer(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return inner(data)\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR011"]
+        assert len(found) == 1
+        assert "drops 'workers'" in found[0].message
+
+    def test_flags_hardcoded_parameter(self):
+        src = (
+            "def inner(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return data\n"
+            "def outer(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return inner(data, workers=4)\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR011"]
+        assert len(found) == 1
+        assert "hardcodes" in found[0].message
+
+    def test_accepts_forwarded_parameter(self):
+        src = (
+            "def inner(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return data\n"
+            "def outer(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return inner(data, workers=workers)\n"
+        )
+        assert "RPR011" not in ids_of(analyze_source(src))
+
+    def test_accepts_value_derived_from_parameter(self):
+        src = (
+            "def inner(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return data\n"
+            "def outer(data, workers=None):\n"
+            '    """doc"""\n'
+            "    lanes = workers or 1\n"
+            "    return inner(data, workers=lanes)\n"
+        )
+        assert "RPR011" not in ids_of(analyze_source(src))
+
+    def test_accepts_explicit_none_and_unpacking(self):
+        # workers=None defers to the library default; **kw may carry it.
+        src = (
+            "def inner(data, workers=None):\n"
+            '    """doc"""\n'
+            "    return data\n"
+            "def outer(data, workers=None, **kw):\n"
+            '    """doc"""\n'
+            "    inner(data, workers=None)\n"
+            "    return inner(data, **kw)\n"
+        )
+        assert "RPR011" not in ids_of(analyze_source(src))
+
+
+class TestRPR012SeededRng:
+    def test_flags_unseeded_default_rng(self):
+        src = (
+            "import numpy as np\n"
+            "def draw():\n"
+            '    """doc"""\n'
+            "    return np.random.default_rng()\n"
+        )
+        assert "RPR012" in ids_of(analyze_source(src))
+
+    def test_flags_legacy_global_api(self):
+        src = (
+            "import numpy as np\n"
+            "def draw():\n"
+            '    """doc"""\n'
+            "    return np.random.rand(3)\n"
+        )
+        assert "RPR012" in ids_of(analyze_source(src))
+
+    def test_accepts_seeded_generator(self):
+        src = (
+            "import numpy as np\n"
+            "def draw(seed):\n"
+            '    """doc"""\n'
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert "RPR012" not in ids_of(analyze_source(src))
+
+    def test_flags_explicit_none_seed(self):
+        src = (
+            "import numpy as np\n"
+            "def draw():\n"
+            '    """doc"""\n'
+            "    return np.random.default_rng(seed=None)\n"
+        )
+        assert "RPR012" in ids_of(analyze_source(src))
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        src = (
+            "import numpy as np\n"
+            "def draw():\n"
+            '    """doc"""\n'
+            "    return np.random.default_rng()\n"
+        )
+        assert "RPR012" not in ids_of(
+            analyze_source(src, path="tests/test_draw.py")
+        )
+        assert "RPR012" not in ids_of(
+            analyze_source(src, path="benchmarks/bench_draw.py")
+        )
+
+
+class TestRPR013WorkerPurity:
+    def test_flags_global_write(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "_COUNTER = 0\n"
+            "def worker(task):\n"
+            '    """doc"""\n'
+            "    global _COUNTER\n"
+            "    _COUNTER = _COUNTER + 1\n"
+            "    return task\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(worker, tasks, workers=workers)\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR013"]
+        assert found and "writes '_COUNTER'" in found[0].message
+
+    def test_flags_mutation_of_free_container(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "_RESULTS = []\n"
+            "def worker(task):\n"
+            '    """doc"""\n'
+            "    _RESULTS.append(task)\n"
+            "    return task\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(worker, tasks, workers=workers)\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR013"]
+        assert found and ".append()" in found[0].message
+
+    def test_flags_environ_access(self):
+        src = (
+            "import os\n"
+            "from repro.parallel import parallel_map\n"
+            "def worker(task):\n"
+            '    """doc"""\n'
+            "    return os.environ.get('REPRO_WORKERS')\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(worker, tasks, workers=workers)\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR013"]
+        assert found and "os.environ" in found[0].message
+
+    def test_accepts_pure_worker(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "def worker(task):\n"
+            '    """doc"""\n'
+            "    out = [task, task]\n"
+            "    out.append(task)\n"
+            "    return out\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(worker, tasks, workers=workers)\n"
+        )
+        assert "RPR013" not in ids_of(analyze_source(src))
+
+    def test_module_function_call_is_not_mutation(self):
+        # np.sort(x) is a pure module function, not an in-place .sort().
+        src = (
+            "import numpy as np\n"
+            "from repro.parallel import parallel_map\n"
+            "def worker(task):\n"
+            '    """doc"""\n'
+            "    return np.sort(task)\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(worker, tasks, workers=workers)\n"
+        )
+        assert "RPR013" not in ids_of(analyze_source(src))
+
+
+class TestRPR014DeprecatedSymbol:
+    GRID = (
+        "class DensityGrid:\n"
+        '    """doc"""\n'
+    )
+
+    def test_flags_deprecated_attribute_on_constructor_result(self):
+        src = self.GRID + (
+            "def use():\n"
+            '    """doc"""\n'
+            "    grid = DensityGrid()\n"
+            "    return grid.stats\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR014"]
+        assert found and "DensityGrid.stats is deprecated" in found[0].message
+
+    def test_flags_deprecated_attribute_via_return_annotation(self):
+        src = self.GRID + (
+            "def make() -> DensityGrid:\n"
+            '    """doc"""\n'
+            "    return DensityGrid()\n"
+            "def use():\n"
+            '    """doc"""\n'
+            "    return make().stats\n"
+        )
+        assert "RPR014" in ids_of(analyze_source(src))
+
+    def test_accepts_replacement_attribute(self):
+        src = self.GRID + (
+            "def use():\n"
+            '    """doc"""\n'
+            "    grid = DensityGrid()\n"
+            "    return grid.diagnostics\n"
+        )
+        assert "RPR014" not in ids_of(analyze_source(src))
+
+    def test_unknown_types_are_not_guessed(self):
+        src = (
+            "def use(grid):\n"
+            '    """doc"""\n'
+            "    return grid.stats\n"
+        )
+        assert "RPR014" not in ids_of(analyze_source(src))
+
+    def test_function_deprecation_flags_call_and_import(self, monkeypatch):
+        from repro.analysis import Deprecation, register_deprecation
+        from repro.analysis import project as project_mod
+
+        monkeypatch.setattr(
+            project_mod, "_DEPRECATIONS", dict(project_mod._DEPRECATIONS)
+        )
+        register_deprecation(
+            Deprecation(
+                kind="function",
+                qualname="legacy.old_fn",
+                replacement="legacy.new_fn",
+                since="PR 6",
+            )
+        )
+        src = (
+            "from legacy import old_fn\n"
+            "def use():\n"
+            '    """doc"""\n'
+            "    return old_fn()\n"
+        )
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR014"]
+        assert len(found) == 2  # the import and the call site
+
+
+class TestRPR015SpanDiscipline:
+    CORE = "src/repro/core/fake.py"
+
+    def test_flags_unwrapped_dispatch(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(len, tasks, workers=workers)\n"
+        )
+        found = [
+            v
+            for v in analyze_source(src, path=self.CORE)
+            if v.rule_id == "RPR015"
+        ]
+        assert found and "outside any obs.span" in found[0].message
+
+    def test_span_wrapped_dispatch_is_clean(self):
+        src = (
+            "from repro import obs\n"
+            "from repro.parallel import parallel_map\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            '    with obs.span("run"):\n'
+            "        return parallel_map(len, tasks, workers=workers)\n"
+        )
+        assert "RPR015" not in ids_of(analyze_source(src, path=self.CORE))
+
+    def test_only_core_modules_are_covered(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(len, tasks, workers=workers)\n"
+        )
+        assert "RPR015" not in ids_of(analyze_source(src))
+
+    def test_pragma_is_the_escape_hatch(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "def run(tasks, workers=None):\n"
+            '    """doc"""\n'
+            "    return parallel_map(len, tasks, workers=workers)"
+            "  # reprolint: disable=RPR015\n"
+        )
+        assert "RPR015" not in ids_of(analyze_source(src, path=self.CORE))
+
+
 class TestParseErrors:
     def test_syntax_error_becomes_rpr000(self):
         found = analyze_source("def broken(:\n")
@@ -398,6 +706,41 @@ class TestPragmas:
     def test_respect_pragmas_false_returns_everything(self):
         found = analyze_source(self.SRC, respect_pragmas=False)
         assert len([v for v in found if v.rule_id == "RPR003"]) == 2
+
+    def test_comma_separated_codes_parse(self):
+        from repro.analysis.context import parse_pragmas
+
+        pragmas = parse_pragmas(["x = 1  # reprolint: disable=RPR003, RPR007"])
+        assert pragmas[1] == frozenset({"RPR003", "RPR007"})
+
+    def test_comma_separated_codes_suppress_both_rules(self):
+        src = (
+            "def f(points):\n"
+            '    """doc"""\n'
+            "    assert points[:, 0]  # reprolint: disable=RPR003,RPR001\n"
+        )
+        found = analyze_source(src)
+        assert "RPR003" not in ids_of(found)
+        assert "RPR001" not in ids_of(found)
+
+    def test_junk_tokens_are_ignored_not_misparsed(self):
+        from repro.analysis.context import parse_pragmas
+
+        pragmas = parse_pragmas(
+            ["x = 1  # reprolint: disable=RPR003,see-issue-12"]
+        )
+        assert pragmas[1] == frozenset({"RPR003"})
+
+    def test_stacked_pragmas_union(self):
+        from repro.analysis.context import parse_pragmas
+
+        pragmas = parse_pragmas(
+            [
+                "x = 1  # reprolint: disable=RPR003"
+                "  # reprolint: disable=RPR010"
+            ]
+        )
+        assert pragmas[1] == frozenset({"RPR003", "RPR010"})
 
 
 class TestBaseline:
@@ -505,6 +848,10 @@ class TestRegistry:
         expected = {f"RPR00{i}" for i in range(1, 9)}
         assert expected <= set(rule_ids())
 
+    def test_project_rules_registered(self):
+        expected = {f"RPR01{i}" for i in range(1, 6)}
+        assert expected <= set(rule_ids())
+
     def test_unknown_rule_raises(self):
         with pytest.raises(AnalysisError, match="unknown rule"):
             get_rule("RPR999")
@@ -562,6 +909,44 @@ class TestCli:
         out = capsys.readouterr().out
         for i in range(1, 9):
             assert f"RPR00{i}" in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        target = self._write_project(
+            tmp_path, "def f(x):\n    \"\"\"doc\"\"\"\n    assert x\n"
+        )
+        assert main([str(target), "--format", "sarif", "--no-cache"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert any(
+            r["ruleId"] == "RPR003" and r["level"] == "error"
+            for r in run["results"]
+        )
+
+    def test_prune_baseline_drops_stale_entries(self, tmp_path, capsys):
+        target = self._write_project(
+            tmp_path, "def f(x):\n    \"\"\"doc\"\"\"\n    assert x\n"
+        )
+        baseline = tmp_path / "bl.json"
+        args = [str(target), "--baseline", str(baseline), "--no-cache"]
+        assert main(args + ["--write-baseline"]) == 0
+        # Entry is live: pruning is a no-op and the run stays green.
+        assert main(args + ["--prune-baseline"]) == 0
+        # Fix the file: the entry goes stale, pruning removes it and
+        # fails the run so CI forces the shrunken baseline to land.
+        target.write_text(
+            "def f(x):\n    \"\"\"doc\"\"\"\n    return x\n", encoding="utf-8"
+        )
+        assert main(args + ["--prune-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert json.loads(baseline.read_text(encoding="utf-8"))["entries"] == []
+        assert main(args + ["--prune-baseline"]) == 0
+
+    def test_prune_baseline_rejects_changed_only(self, capsys):
+        assert main(["--prune-baseline", "--changed-only"]) == 2
+        assert "reprolint: error" in capsys.readouterr().err
 
     def test_config_error_exit_code(self, tmp_path, capsys):
         (tmp_path / "pyproject.toml").write_text(

@@ -68,6 +68,19 @@ class TestAgainstBruteForce:
         counts = st_k_function(pts, times, [3.0], [5.0], method="naive")
         assert counts[0, 0] == 2  # distances exactly at the thresholds count
 
+    def test_threshold_boundary_agrees_across_methods(self):
+        # Regression: the naive scan's old |a|^2+|b|^2-2ab expansion lost
+        # ulps, so this pair at distance exactly 10.0 fell past the 10.0
+        # threshold under naive but not under grid.
+        pts = np.array([[0.0, 20.65459754], [10.0, 20.65459754]])
+        times = np.array([0.0, 0.0])
+        s_ts = [1.0, 10.0, 100.0]
+        t_ts = [5.0, 50.0]
+        a = st_k_function(pts, times, s_ts, t_ts, method="naive")
+        b = st_k_function(pts, times, s_ts, t_ts, method="grid")
+        np.testing.assert_array_equal(a, b)
+        assert a[1, 0] == 2  # admitted at s=10.0 exactly
+
     def test_unknown_method(self, st_data):
         pts, times, _ = st_data
         with pytest.raises(ParameterError, match="unknown ST K"):
