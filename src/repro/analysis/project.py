@@ -491,3 +491,31 @@ register_deprecation(
         since="PR 5 (observability subsystem)",
     )
 )
+
+# The per-module scatter loops superseded by repro.core.scatter.  The
+# functions themselves were deleted; registering them keeps RPR014
+# flagging any straggler that reintroduces or re-imports one.
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.kdv.streaming.MultiSurfaceAccumulator._scatter",
+        replacement="repro.core.scatter.PatchScatter.scatter",
+        since="PR 7 (scatter core)",
+    )
+)
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.nkdv._scatter_event",
+        replacement="repro.core.scatter.scatter_line",
+        since="PR 7 (scatter core)",
+    )
+)
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.nkdv._scatter_event_split",
+        replacement="repro.core.scatter.scatter_line",
+        since="PR 7 (scatter core)",
+    )
+)

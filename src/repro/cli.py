@@ -132,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute error budget for --method dualtree "
              "(per-pixel error <= tau/2; 0 = exact; default 1e-3)",
     )
+    kdv.add_argument(
+        "--dtype", default=None, choices=["float32", "float64"],
+        help="scatter-core accuracy mode for --method grid (float64 = "
+             "bit-exact default; float32 = bucketed kernel tables under "
+             "a bounded-error contract; with --method auto, selects grid)",
+    )
 
     kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes",
                          parents=[trace_parent])
@@ -180,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(polynomial temporal kernels; falls back to window)",
     )
     st.add_argument("--size", type=_parse_size, default=(128, 96))
+    st.add_argument(
+        "--dtype", default=None, choices=["float32", "float64"],
+        help="scatter-core accuracy mode for the window/shared backends "
+             "(float64 = bit-exact default; float32 = bucketed kernel "
+             "tables under a bounded-error contract)",
+    )
     st.add_argument("--out-prefix", default="stkdv_frame")
     st.add_argument(
         "--workers", type=int, default=None,
@@ -212,10 +224,13 @@ def _cmd_kdv(args) -> int:
     if method == "auto" and (args.workers is not None or args.backend is not None):
         # An explicit executor request selects the parallel exact backend.
         method = "parallel"
+    if method == "auto" and args.dtype is not None:
+        # dtype is a scatter-core mode, so it selects the scatter backend.
+        method = "grid"
     grid = kde_grid(
         ds.points, ds.bbox, args.size, args.bandwidth,
         kernel=args.kernel, method=method, workers=args.workers,
-        backend=args.backend, tau=args.tau,
+        backend=args.backend, tau=args.tau, dtype=args.dtype,
     )
     print(
         f"KDV over {ds.points.shape[0]} events, grid {args.size[0]}x{args.size[1]}, "
@@ -320,7 +335,7 @@ def _cmd_stkdv(args) -> int:
     result = stkdv(
         ds.points, ds.times, ds.bbox, args.size, frames,
         args.bandwidth_space, args.bandwidth_time,
-        method=args.method, workers=args.workers,
+        method=args.method, dtype=args.dtype, workers=args.workers,
     )
     track = result.hotspot_track()
     for j, (t, (x, y)) in enumerate(zip(frames, track)):

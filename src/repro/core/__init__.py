@@ -3,6 +3,7 @@
 Subpackages / modules:
 
 * :mod:`repro.core.kernels` — Table 2 kernels and extensions
+* :mod:`repro.core.scatter` — the shared cache-blocked kernel-scatter core
 * :mod:`repro.core.kdv` — kernel density visualisation (4 method families)
 * :mod:`repro.core.nkdv` — network KDV
 * :mod:`repro.core.stkdv` — spatiotemporal KDV
@@ -13,7 +14,15 @@ Subpackages / modules:
 * :mod:`repro.core.pipeline` — the end-to-end hotspot workflow
 """
 
-from . import autocorrelation, clustering, csr_tests, interpolation, kdv, kfunction
+from . import (
+    autocorrelation,
+    clustering,
+    csr_tests,
+    interpolation,
+    kdv,
+    kfunction,
+    scatter,
+)
 from .csr_tests import ClarkEvansResult, QuadratTestResult, clark_evans, quadrat_test
 from .kernels import KERNELS, Kernel, get_kernel
 from .nkdv import NKDVResult, nkdv
@@ -44,6 +53,7 @@ __all__ = [
     "kdv",
     "kfunction",
     "nkdv",
+    "scatter",
     "stkdv",
     "stnkdv",
 ]

@@ -37,7 +37,7 @@ the bit-identical worker-invariance contract; ``dualtree`` attaches a
 on the returned grid's ``diagnostics``.
 
 Method-specific parameters (``eps``, ``delta``, ``sample``, ``seed``,
-``index``, ``tau``, ``workers``, ``backend``) raise
+``index``, ``tau``, ``workers``, ``backend``, ``dtype``) raise
 :class:`~repro.errors.ParameterError` when combined with a method that
 would silently ignore them.
 """
@@ -78,6 +78,7 @@ _METHOD_ONLY_PARAMS: dict[str, tuple[str, ...]] = {
     "tau": ("dualtree",),
     "workers": ("parallel", "dualtree"),
     "backend": ("parallel", "dualtree"),
+    "dtype": ("grid",),
 }
 
 
@@ -95,6 +96,7 @@ def kde_grid(
     sample: int | None = None,
     index: str | None = None,
     tau: float | None = None,
+    dtype=None,
     seed=None,
     workers: int | None = None,
     backend: str | None = None,
@@ -138,6 +140,12 @@ def kde_grid(
     tau:
         Absolute error budget for ``dualtree`` (per-pixel error
         <= tau/2; default ``1e-3``).
+    dtype:
+        Accuracy mode of the ``grid`` scatter core: ``"float64"``
+        (default when omitted; bit-identical to the historical per-point
+        loop) or ``"float32"`` (bucketed kernel-table evaluation under
+        the bounded-error contract in ``docs/PERFORMANCE.md``).  Only
+        honoured by ``method="grid"``.
 
     Returns
     -------
@@ -152,6 +160,7 @@ def kde_grid(
     requested = {
         "eps": eps, "delta": delta, "sample": sample, "seed": seed,
         "workers": workers, "backend": backend, "index": index, "tau": tau,
+        "dtype": dtype,
     }
     for name, accepted_by in _METHOD_ONLY_PARAMS.items():
         if requested[name] is not None and method not in accepted_by:
@@ -166,6 +175,7 @@ def kde_grid(
         grid = _dispatch(
             problem, method, eps=eps, delta=delta, sample=sample, seed=seed,
             workers=workers, backend=backend, index=index, tau=tau,
+            dtype=dtype,
         )
         values = grid.values
         if normalize:
@@ -184,7 +194,7 @@ def kde_grid(
 def _dispatch(
     problem: KDVProblem,
     method: str,
-    eps, delta, sample, seed, workers, backend, index, tau,
+    eps, delta, sample, seed, workers, backend, index, tau, dtype,
 ) -> DensityGrid:
     """Run one backend on a validated problem (tracing handled by caller)."""
     obs.count("kdv.points", problem.n)
@@ -203,7 +213,7 @@ def _dispatch(
     if method == "naive":
         grid = kde_naive(problem)
     elif method == "grid":
-        grid = kde_gridcut(problem)
+        grid = kde_gridcut(problem, dtype=dtype)
     elif method == "sweep":
         grid = kde_sweep(problem)
     elif method == "bounds":

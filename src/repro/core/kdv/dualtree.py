@@ -55,6 +55,7 @@ from ... import obs
 from ..._validation import check_non_negative
 from ...index import KDTree
 from ...parallel import parallel_starmap
+from ..scatter import accumulate_rect_blocks
 from .base import KDVProblem
 
 __all__ = ["RefinementStats", "kde_dualtree"]
@@ -230,17 +231,27 @@ def _refine_tile(
     per_w_tol: float,
     xs: np.ndarray,
     ys: np.ndarray,
+    dx: float,
+    dy: float,
     tile: tuple[int, int, int, int],
     frontier: list[int],
     base: float,
 ) -> tuple[np.ndarray, tuple[int, int, int, int, int]]:
     """Execute-phase job: fully refine one tile against its frontier.
 
-    Runs the classic dual-tree recursion restricted to the tile,
-    accumulating into a local ``(tile_w, tile_h)`` array seeded with the
-    plan's bulk-accepted ``base``.  Module-level (and argument-picklable)
-    so the job runs on any :mod:`repro.parallel` backend.  Returns the
-    local array and a counter tuple
+    Runs the dual-tree recursion restricted to the tile as a
+    *wave-vectorised* breadth-first sweep: every live (sub-tile, node)
+    pair of a wave is bounded, pruned, accepted, or split with whole-array
+    numpy operations instead of one Python iteration per pair.  The
+    recursion tree — and therefore every counter — is identical to the
+    classic depth-first formulation; only the traversal order changes.
+    Leaf-leaf pairs are collected across the whole sweep and evaluated in
+    one batch through
+    :func:`repro.core.scatter.accumulate_rect_blocks`, grouped by output
+    rectangle.  Accumulates into a local ``(tile_w, tile_h)`` array seeded
+    with the plan's bulk-accepted ``base``.  Module-level (and
+    argument-picklable) so the job runs on any :mod:`repro.parallel`
+    backend.  Returns the local array and a counter tuple
     ``(pairs, pruned, accepted, leaf_scans, points_touched)``.
     """
     jx0, jx1, jy0, jy1 = tile
@@ -249,75 +260,138 @@ def _refine_tile(
     node_min = tree.node_min
     node_max = tree.node_max
     wsum = tree.node_weight_sum
+    left_of = tree.node_left
+    right_of = tree.node_right
 
-    pairs = pruned = accepted = leaf_scans = points = 0
-    stack: list[tuple[int, int, int, int, int]] = [
-        (jx0, jx1, jy0, jy1, node) for node in reversed(frontier)
-    ]
-    while stack:
-        ix0, ix1, iy0, iy1, node = stack.pop()
-        pairs += 1
-        w_node = wsum[node]
-        if w_node == 0.0:
-            pruned += 1
-            continue
-        tx0, tx1 = xs[ix0], xs[ix1 - 1]
-        ty0, ty1 = ys[iy0], ys[iy1 - 1]
+    ix0 = np.full(len(frontier), jx0, dtype=np.int64)
+    ix1 = np.full(len(frontier), jx1, dtype=np.int64)
+    iy0 = np.full(len(frontier), jy0, dtype=np.int64)
+    iy1 = np.full(len(frontier), jy1, dtype=np.int64)
+    node = np.asarray(frontier, dtype=np.int64)
+
+    leaf_parts: list[tuple[np.ndarray, ...]] = []
+    pairs = pruned = accepted = 0
+    while node.size:
+        pairs += node.size
+        tx0 = xs[ix0]
+        tx1 = xs[ix1 - 1]
+        ty0 = ys[iy0]
+        ty1 = ys[iy1 - 1]
         nmin = node_min[node]
         nmax = node_max[node]
-        dmin, dmax = _box_distance_bounds(
-            tx0, tx1, ty0, ty1, nmin[0], nmax[0], nmin[1], nmax[1]
-        )
-        k_hi = float(kernel.evaluate(dmin, b))
-        if k_hi == 0.0:
-            pruned += 1
-            continue  # the whole pair is outside the kernel support
-        k_lo = float(kernel.evaluate(dmax, b))
-        if k_hi - k_lo <= per_w_tol:
-            local[ix0 - jx0:ix1 - jx0, iy0 - jy0:iy1 - jy0] += (
-                w_node * (0.5 * (k_hi + k_lo))
+        nbx0 = nmin[:, 0]
+        nby0 = nmin[:, 1]
+        nbx1 = nmax[:, 0]
+        nby1 = nmax[:, 1]
+        # Vectorised _box_distance_bounds over the whole wave.
+        dx_min = np.maximum(np.maximum(nbx0 - tx1, 0.0), tx0 - nbx1)
+        dy_min = np.maximum(np.maximum(nby0 - ty1, 0.0), ty0 - nby1)
+        dx_max = np.maximum(nbx1 - tx0, tx1 - nbx0)
+        dy_max = np.maximum(nby1 - ty0, ty1 - nby0)
+        k_hi = kernel.evaluate(np.hypot(dx_min, dy_min), b)
+        k_lo = kernel.evaluate(np.hypot(dx_max, dy_max), b)
+        w_node = wsum[node]
+
+        prune = (w_node == 0.0) | (k_hi == 0.0)
+        accept = ~prune & (k_hi - k_lo <= per_w_tol)
+        pruned += int(prune.sum())
+        n_accept = int(np.count_nonzero(accept))
+        if n_accept:
+            accepted += n_accept
+            mid = w_node * (0.5 * (k_hi + k_lo))
+            for i in np.flatnonzero(accept):
+                local[ix0[i] - jx0:ix1[i] - jx0,
+                      iy0[i] - jy0:iy1[i] - jy0] += mid[i]
+
+        rest = ~(prune | accept)
+        node_is_leaf = left_of[node] < 0
+        tw = ix1 - ix0
+        th = iy1 - iy0
+        tile_is_leaf = (tw <= _TILE_LEAF) & (th <= _TILE_LEAF)
+
+        leafleaf = rest & node_is_leaf & tile_is_leaf
+        if leafleaf.any():
+            leaf_parts.append(
+                (ix0[leafleaf], ix1[leafleaf], iy0[leafleaf], iy1[leafleaf],
+                 node[leafleaf])
             )
-            accepted += 1
-            continue
-
-        tile_w = ix1 - ix0
-        tile_h = iy1 - iy0
-        node_is_leaf = tree.is_leaf(node)
-        tile_is_leaf = tile_w <= _TILE_LEAF and tile_h <= _TILE_LEAF
-
-        if node_is_leaf and tile_is_leaf:
-            block = tree.node_points(node)
-            w = tree.node_point_weights(node)
-            gx = xs[ix0:ix1][:, None, None]
-            gy = ys[iy0:iy1][None, :, None]
-            d2 = (gx - block[:, 0][None, None, :]) ** 2 + (
-                gy - block[:, 1][None, None, :]
-            ) ** 2
-            vals = kernel.evaluate_sq(d2, b)
-            if w is not None:
-                vals = vals * w[None, None, :]
-            local[ix0 - jx0:ix1 - jx0, iy0 - jy0:iy1 - jy0] += vals.sum(axis=2)
-            leaf_scans += 1
-            points += block.shape[0]
-            continue
-
+        rest &= ~leafleaf
         # Split whichever side is wider (in coordinate units).
-        tile_extent = max(tx1 - tx0, ty1 - ty0)
-        node_extent = float(max(nmax[0] - nmin[0], nmax[1] - nmin[1]))
-        split_tile = not tile_is_leaf and (node_is_leaf or tile_extent >= node_extent)
-        if split_tile:
-            if tile_w >= tile_h:
-                mid = (ix0 + ix1) // 2
-                stack.append((ix0, mid, iy0, iy1, node))
-                stack.append((mid, ix1, iy0, iy1, node))
-            else:
-                mid = (iy0 + iy1) // 2
-                stack.append((ix0, ix1, iy0, mid, node))
-                stack.append((ix0, ix1, mid, iy1, node))
+        tile_extent = np.maximum(tx1 - tx0, ty1 - ty0)
+        node_extent = np.maximum(nbx1 - nbx0, nby1 - nby0)
+        split_tile = rest & ~tile_is_leaf & (
+            node_is_leaf | (tile_extent >= node_extent)
+        )
+        split_node = rest & ~split_tile
+
+        parts = []
+        if split_tile.any():
+            st = np.flatnonzero(split_tile)
+            along_x = tw[st] >= th[st]
+            stx = st[along_x]
+            if stx.size:
+                mid_x = (ix0[stx] + ix1[stx]) // 2
+                parts.append((ix0[stx], mid_x, iy0[stx], iy1[stx], node[stx]))
+                parts.append((mid_x, ix1[stx], iy0[stx], iy1[stx], node[stx]))
+            sty = st[~along_x]
+            if sty.size:
+                mid_y = (iy0[sty] + iy1[sty]) // 2
+                parts.append((ix0[sty], ix1[sty], iy0[sty], mid_y, node[sty]))
+                parts.append((ix0[sty], ix1[sty], mid_y, iy1[sty], node[sty]))
+        if split_node.any():
+            sn = np.flatnonzero(split_node)
+            parts.append((ix0[sn], ix1[sn], iy0[sn], iy1[sn], left_of[node[sn]]))
+            parts.append((ix0[sn], ix1[sn], iy0[sn], iy1[sn], right_of[node[sn]]))
+        if parts:
+            ix0 = np.concatenate([p[0] for p in parts])
+            ix1 = np.concatenate([p[1] for p in parts])
+            iy0 = np.concatenate([p[2] for p in parts])
+            iy1 = np.concatenate([p[3] for p in parts])
+            node = np.concatenate([p[4] for p in parts])
         else:
-            left, right = tree.children(node)
-            stack.append((ix0, ix1, iy0, iy1, left))
-            stack.append((ix0, ix1, iy0, iy1, right))
+            node = np.empty(0, dtype=np.int64)
+
+    leaf_scans = points = 0
+    if leaf_parts:
+        lx0 = np.concatenate([p[0] for p in leaf_parts])
+        lx1 = np.concatenate([p[1] for p in leaf_parts])
+        ly0 = np.concatenate([p[2] for p in leaf_parts])
+        ly1 = np.concatenate([p[3] for p in leaf_parts])
+        lnode = np.concatenate([p[4] for p in leaf_parts])
+        leaf_scans = int(lnode.size)
+        # Group leaf pairs by output rectangle so the scatter core
+        # evaluates each rectangle's point set in one shot.  Within one
+        # job equal (lx0, ly0) implies an equal rectangle: the tile
+        # bisection hierarchy is fixed and leaves are never split
+        # further.  lexsort is stable, so the grouping is deterministic.
+        order = np.lexsort((lnode, ly0, lx0))
+        lx0 = lx0[order]
+        lx1 = lx1[order]
+        ly0 = ly0[order]
+        ly1 = ly1[order]
+        lnode = lnode[order]
+
+        pt_starts = tree.node_start[lnode]
+        counts = (tree.node_stop[lnode] - pt_starts).astype(np.int64)
+        points = int(counts.sum())
+        pair_off = np.concatenate([[0], np.cumsum(counts)])
+        pos = np.repeat(pt_starts - pair_off[:-1], counts) + np.arange(points)
+        sorted_pts = tree._sorted_points
+        px = sorted_pts[pos, 0]
+        py = sorted_pts[pos, 1]
+        sw = tree._sorted_weights
+        pw = sw[pos] if sw is not None else None
+
+        change = np.empty(lnode.size, dtype=bool)
+        change[0] = True
+        change[1:] = (lx0[1:] != lx0[:-1]) | (ly0[1:] != ly0[:-1])
+        rect_idx = np.flatnonzero(change)
+        rects = (lx0[rect_idx], lx1[rect_idx], ly0[rect_idx], ly1[rect_idx])
+        rect_starts = np.concatenate([pair_off[rect_idx], [points]])
+        accumulate_rect_blocks(
+            local, (jx0, jy0), rects, rect_starts, px, py, pw,
+            float(xs[0]), float(ys[0]), dx, dy, kernel, b, _TILE_LEAF,
+        )
     return local, (pairs, pruned, accepted, leaf_scans, points)
 
 
@@ -373,6 +447,7 @@ def kde_dualtree(
             else:
                 per_w_tol = tau / total_weight
                 xs, ys = problem.pixel_centers()
+                dx, dy = problem.bbox.pixel_size(nx, ny)
                 tiles = _partition_tiles(nx, ny, _PLAN_TILE_CAP)
 
                 pairs = pruned = accepted = 0
@@ -386,8 +461,8 @@ def kde_dualtree(
                     pruned += t_pruned
                     accepted += t_accepted
                     if frontier:
-                        jobs.append((tree, kernel, b, per_w_tol, xs, ys, tile,
-                                     frontier, base))
+                        jobs.append((tree, kernel, b, per_w_tol, xs, ys,
+                                     dx, dy, tile, frontier, base))
                         job_tiles.append(tile)
                     elif base != 0.0:
                         ix0, ix1, iy0, iy1 = tile

@@ -10,6 +10,13 @@ accelerations, and exact for every finite-support kernel.
 Infinite-support kernels (Gaussian, exponential) are truncated at the
 radius where the kernel falls below ``tail``; the absolute error is then at
 most ``total_weight * tail``.
+
+The patch evaluation dispatches through the shared
+:class:`repro.core.scatter.PatchScatter` core: ``dtype="float64"``
+(default) is bit-identical to the historical per-point loop, while
+``dtype="float32"`` buckets events by output tile and evaluates through a
+precomputed kernel table under the bounded-error contract documented in
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -17,53 +24,31 @@ from __future__ import annotations
 import numpy as np
 
 from ... import obs
-from ..._validation import check_probability
-from .base import KDVProblem, effective_radius
+from ..scatter import PatchScatter
+from .base import KDVProblem
 
 __all__ = ["kde_gridcut"]
 
 
-def kde_gridcut(problem: KDVProblem, tail: float = 1e-12):
+def kde_gridcut(problem: KDVProblem, tail: float = 1e-12, dtype=None):
     """KDV by scattering each point onto its pixel patch.
 
     ``tail`` only matters for infinite-support kernels; see module docs.
+    ``dtype`` selects the scatter core's accuracy mode (``None`` means
+    float64, the bit-exact default).
     """
-    tail = check_probability(tail, "tail")
-
-    xs, ys = problem.pixel_centers()
-    dx, dy = problem.bbox.pixel_size(problem.nx, problem.ny)
-    x0, y0 = xs[0], ys[0]
-    nx, ny = problem.nx, problem.ny
-    b = problem.bandwidth
-    kernel = problem.kernel
-    radius = effective_radius(kernel, b, tail)
-    r2 = radius * radius
-
-    values = np.zeros((nx, ny), dtype=np.float64)
-    pts = problem.points
-    weights = problem.weights
-
-    scatters = patch_pixels = 0
-    for row in range(pts.shape[0]):
-        px, py = pts[row]
-        # Pixel index window covered by the disc of `radius` around (px, py).
-        ix_lo = max(int(np.ceil((px - radius - x0) / dx)), 0)
-        ix_hi = min(int(np.floor((px + radius - x0) / dx)), nx - 1)
-        iy_lo = max(int(np.ceil((py - radius - y0) / dy)), 0)
-        iy_hi = min(int(np.floor((py + radius - y0) / dy)), ny - 1)
-        if ix_lo > ix_hi or iy_lo > iy_hi:
-            continue
-        local_x = xs[ix_lo:ix_hi + 1] - px
-        local_y = ys[iy_lo:iy_hi + 1] - py
-        d2 = local_x[:, None] ** 2 + local_y[None, :] ** 2
-        patch = kernel.evaluate_sq(d2, b)
-        if radius < kernel.support_radius(b):  # truncated infinite kernel
-            patch = np.where(d2 <= r2, patch, 0.0)
-        if weights is not None:
-            patch = patch * weights[row]
-        values[ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += patch
-        scatters += 1
-        patch_pixels += patch.size
+    scatterer = PatchScatter(
+        problem.bbox,
+        (problem.nx, problem.ny),
+        problem.bandwidth,
+        kernel=problem.kernel,
+        tail=tail,
+        dtype=np.float64 if dtype is None else dtype,
+    )
+    values = np.zeros((problem.nx, problem.ny), dtype=scatterer.dtype)
+    scatters, patch_pixels = scatterer.scatter(
+        values, problem.points, problem.weights
+    )
     obs.count("kdv.scatters", scatters)
     obs.count("kdv.patch_pixels", patch_pixels)
     return problem.make_grid(values)

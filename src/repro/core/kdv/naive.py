@@ -41,7 +41,6 @@ def kde_naive(problem: KDVProblem, chunk_pixels: int = 4096):
     queries = np.column_stack([gx.ravel(), gy.ravel()])
 
     pts = problem.points
-    p_sq = np.sum(pts * pts, axis=1)
     weights = problem.weights
     b = problem.bandwidth
     kernel = problem.kernel
@@ -50,12 +49,13 @@ def kde_naive(problem: KDVProblem, chunk_pixels: int = 4096):
     for start in range(0, queries.shape[0], chunk_pixels):
         stop = min(start + chunk_pixels, queries.shape[0])
         q = queries[start:stop]
-        d2 = (
-            np.sum(q * q, axis=1)[:, None]
-            + p_sq[None, :]
-            - 2.0 * (q @ pts.T)
-        )
-        np.maximum(d2, 0.0, out=d2)
+        # Difference form, NOT the expanded |q|^2 + |p|^2 - 2 q.p: the
+        # expansion loses ulps to cancellation exactly where d ~ the
+        # kernel-support boundary, which silently flips boundary pixels —
+        # this is the exactness reference, so it must get those right.
+        d2 = (q[:, 0][:, None] - pts[:, 0][None, :]) ** 2 + (
+            q[:, 1][:, None] - pts[:, 1][None, :]
+        ) ** 2
         vals = kernel.evaluate_sq(d2, b)
         if weights is None:
             out[start:stop] = vals.sum(axis=1)

@@ -32,11 +32,13 @@ __all__ = ["kde_parallel"]
 def _band(problem: KDVProblem, xs: np.ndarray, ys: np.ndarray, j_lo: int, j_hi: int) -> np.ndarray:
     """Exact kernel sums for pixel rows ``j_lo:j_hi`` (a y-band)."""
     pts = problem.points
-    p_sq = np.sum(pts * pts, axis=1)
     gx, gy = np.meshgrid(xs, ys[j_lo:j_hi], indexing="ij")
     q = np.column_stack([gx.ravel(), gy.ravel()])
-    d2 = np.sum(q * q, axis=1)[:, None] + p_sq[None, :] - 2.0 * (q @ pts.T)
-    np.maximum(d2, 0.0, out=d2)
+    # Difference form (see kde_naive): the expanded form loses ulps at
+    # kernel-support boundaries.
+    d2 = (q[:, 0][:, None] - pts[:, 0][None, :]) ** 2 + (
+        q[:, 1][:, None] - pts[:, 1][None, :]
+    ) ** 2
     # Total over all bands is nx*ny*n — invariant even though the band
     # split itself follows the requested worker count.
     obs.count("kdv.distance_evals", d2.size)

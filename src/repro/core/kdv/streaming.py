@@ -27,12 +27,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..._validation import as_points, check_positive
+from ..._validation import as_points
 from ...errors import DataError, ParameterError
 from ...geometry import BoundingBox
 from ...raster import DensityGrid
-from ..kernels import Kernel, get_kernel
-from .base import effective_radius
+from ..kernels import Kernel
+from ..scatter import PatchScatter
 
 __all__ = ["KDVAccumulator", "MultiSurfaceAccumulator"]
 
@@ -56,27 +56,29 @@ class MultiSurfaceAccumulator:
         kernel: str | Kernel = "quartic",
         n_surfaces: int = 1,
         tail: float = 1e-12,
+        dtype=np.float64,
     ):
-        if not isinstance(bbox, BoundingBox):
-            raise ParameterError("bbox must be a BoundingBox")
-        self.bbox = bbox
-        nx, ny = int(size[0]), int(size[1])
-        if nx < 1 or ny < 1:
-            raise ParameterError(f"grid size must be positive, got {nx}x{ny}")
-        self.nx = nx
-        self.ny = ny
         n_surfaces = int(n_surfaces)
         if n_surfaces < 1:
             raise ParameterError(
                 f"n_surfaces must be >= 1, got {n_surfaces}"
             )
+        # The scatter core owns everything invariant for the accumulator's
+        # lifetime: pixel lattice, cutoff radius, whether the kernel is
+        # truncated at that radius, and (float32) the kernel table.
+        self._scatterer = PatchScatter(
+            bbox, size, bandwidth, kernel=kernel, tail=tail, dtype=dtype
+        )
+        self.bbox = self._scatterer.bbox
+        self.nx = self._scatterer.nx
+        self.ny = self._scatterer.ny
         self.n_surfaces = n_surfaces
-        self.bandwidth = check_positive(bandwidth, "bandwidth")
-        self.kernel = get_kernel(kernel)
-        self._radius = effective_radius(self.kernel, self.bandwidth, tail)
-        self._xs, self._ys = bbox.pixel_centers(nx, ny)
-        self._dx, self._dy = bbox.pixel_size(nx, ny)
-        self._values = np.zeros((n_surfaces, nx, ny), dtype=np.float64)
+        self.bandwidth = self._scatterer.bandwidth
+        self.kernel = self._scatterer.kernel
+        self.dtype = self._scatterer.dtype
+        self._radius = self._scatterer.radius
+        self._values = np.zeros((n_surfaces, self.nx, self.ny),
+                                dtype=self.dtype)
         self._count = 0
 
     @property
@@ -104,7 +106,7 @@ class MultiSurfaceAccumulator:
             )
         if w.size and not np.all(np.isfinite(w)):
             raise DataError("weights contain non-finite entries")
-        self._scatter(pts, w)
+        self._scatterer.scatter(self._values, pts, w)
         return self
 
     def add_weighted(self, points, weights) -> "MultiSurfaceAccumulator":
@@ -129,41 +131,6 @@ class MultiSurfaceAccumulator:
             # Snap accumulated float noise back to exactly empty.
             self._values[:] = 0.0
         return self
-
-    def _scatter(self, points: np.ndarray, weights: np.ndarray) -> None:
-        xs, ys = self._xs, self._ys
-        x0, y0 = xs[0], ys[0]
-        radius = self._radius
-        r2 = radius * radius
-        b = self.bandwidth
-        kernel = self.kernel
-        truncated = radius < kernel.support_radius(b)
-        for row in range(points.shape[0]):
-            px, py = points[row]
-            ix_lo = max(int(np.ceil((px - radius - x0) / self._dx)), 0)
-            ix_hi = min(int(np.floor((px + radius - x0) / self._dx)), self.nx - 1)
-            iy_lo = max(int(np.ceil((py - radius - y0) / self._dy)), 0)
-            iy_hi = min(int(np.floor((py + radius - y0) / self._dy)), self.ny - 1)
-            if ix_lo > ix_hi or iy_lo > iy_hi:
-                continue
-            local_x = xs[ix_lo:ix_hi + 1] - px
-            local_y = ys[iy_lo:iy_hi + 1] - py
-            d2 = local_x[:, None] ** 2 + local_y[None, :] ** 2
-            patch = kernel.evaluate_sq(d2, b)
-            if truncated:
-                patch = np.where(d2 <= r2, patch, 0.0)
-            w_row = weights[row]
-            if self.n_surfaces == 1:
-                self._values[0, ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += (
-                    w_row[0] * patch
-                )
-            else:
-                # Per-surface 2-D adds beat one strided 3-D broadcast here:
-                # the patch is small and the surface count is a handful.
-                for s in range(self.n_surfaces):
-                    self._values[s, ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += (
-                        w_row[s] * patch
-                    )
 
     def surface(self, s: int) -> np.ndarray:
         """Surface ``s`` as a defensive ``(nx, ny)`` copy."""
@@ -197,7 +164,9 @@ class MultiSurfaceAccumulator:
                 f"matrix must have shape ({self.n_surfaces}, {self.n_surfaces}), "
                 f"got {m.shape}"
             )
-        self._values = np.tensordot(m, self._values, axes=(1, 0))
+        self._values = np.tensordot(m, self._values, axes=(1, 0)).astype(
+            self.dtype, copy=False
+        )
         return self
 
     def reset(self) -> "MultiSurfaceAccumulator":
@@ -224,9 +193,11 @@ class KDVAccumulator(MultiSurfaceAccumulator):
         bandwidth: float,
         kernel: str | Kernel = "quartic",
         tail: float = 1e-12,
+        dtype=np.float64,
     ):
         super().__init__(
-            bbox, size, bandwidth, kernel=kernel, n_surfaces=1, tail=tail
+            bbox, size, bandwidth, kernel=kernel, n_surfaces=1, tail=tail,
+            dtype=dtype,
         )
 
     def add(self, points) -> "KDVAccumulator":

@@ -32,6 +32,8 @@ from ..errors import ParameterError
 
 __all__ = [
     "Kernel",
+    "KernelTable",
+    "build_kernel_table",
     "clamp_non_negative",
     "temporal_expansion_matrix",
     "UniformKernel",
@@ -281,6 +283,133 @@ KERNELS: dict[str, Kernel] = {
         ExponentialKernel(),
     )
 }
+
+
+#: Interpolation nodes per kernel table (float32 values; the node count
+#: trades table size against the published interpolation bound).
+_TABLE_SIZE = 4096
+
+#: Oversampling factor of the probe grid that certifies ``max_abs_error``.
+_TABLE_PROBE = 8
+
+
+class KernelTable:
+    """Precomputed float32 lookup table for one ``(kernel, bandwidth)`` pair.
+
+    The table holds kernel values at evenly spaced nodes of an axis
+    variable ``x`` — the *squared* distance for kernels that are smooth in
+    ``d^2`` (polynomial kernels, Gaussian), the plain distance for the
+    square-root family (triangular, cosine, exponential), whose derivative
+    in ``d^2`` blows up at zero and would wreck a linear-in-``d^2``
+    interpolant.  :meth:`lookup_sq` evaluates by linear interpolation and
+    returns exact ``0`` beyond the cutoff.
+
+    ``max_abs_error`` is the *certified* absolute interpolation bound:
+    the maximum deviation from the exact float64 kernel measured on a
+    probe grid oversampling every node interval, plus one float32 ulp of
+    headroom.  The float32 scatter mode publishes its error contract in
+    terms of this number (see ``docs/PERFORMANCE.md``).
+    """
+
+    def __init__(
+        self,
+        kernel_name: str,
+        bandwidth: float,
+        cutoff: float,
+        axis: str,
+        values: np.ndarray,
+        max_abs_error: float,
+    ):
+        if axis not in ("d", "d2"):
+            raise ParameterError(f"table axis must be 'd' or 'd2', got {axis!r}")
+        self.kernel_name = kernel_name
+        self.bandwidth = float(bandwidth)
+        self.cutoff = float(cutoff)
+        self.axis = axis
+        self.values = np.asarray(values, dtype=np.float32)
+        self.max_abs_error = float(max_abs_error)
+        x_max = self.cutoff if axis == "d" else self.cutoff * self.cutoff
+        self._x_max = np.float32(x_max)
+        self._scale = np.float32((self.values.shape[0] - 1) / x_max)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.values.shape[0])
+
+    def lookup_sq(self, d2: np.ndarray) -> np.ndarray:
+        """Interpolated kernel values from squared distances (float32).
+
+        Distances beyond the cutoff return exact ``0``; the boundary test
+        happens in float32, so callers that must match a float64
+        truncation decision bit-for-bit should test in float64 themselves
+        and use :meth:`lookup_sq_clipped` on the surviving entries.
+        """
+        d2 = np.asarray(d2, dtype=np.float32)
+        x = np.sqrt(d2) if self.axis == "d" else d2
+        out = self._interpolate(x)
+        return np.where(x <= self._x_max, out, np.float32(0.0))
+
+    def lookup_sq_clipped(self, d2: np.ndarray) -> np.ndarray:
+        """Like :meth:`lookup_sq` but clipped to the last node beyond the
+        cutoff instead of zeroed — the caller owns the truncation mask."""
+        d2 = np.asarray(d2, dtype=np.float32)
+        x = np.sqrt(d2) if self.axis == "d" else d2
+        return self._interpolate(x)
+
+    def _interpolate(self, x: np.ndarray) -> np.ndarray:
+        t = x * self._scale
+        np.minimum(t, np.float32(self.values.shape[0] - 1), out=t)
+        i0 = np.minimum(t.astype(np.int32), self.values.shape[0] - 2)
+        frac = t - i0.astype(np.float32)
+        lo = self.values[i0]
+        return lo + frac * (self.values[i0 + 1] - lo)
+
+
+def build_kernel_table(
+    kernel: str | Kernel,
+    bandwidth: float,
+    cutoff: float | None = None,
+    size: int = _TABLE_SIZE,
+) -> KernelTable:
+    """Build the float32 lookup table used by the scatter core's f32 mode.
+
+    ``cutoff`` defaults to the kernel's support radius; infinite-support
+    kernels must pass their truncation radius explicitly.  The returned
+    table's ``max_abs_error`` is certified against the exact float64
+    kernel on a probe grid oversampling every node interval
+    ``_TABLE_PROBE`` times.
+    """
+    k = get_kernel(kernel)
+    b = check_positive(bandwidth, "bandwidth")
+    if cutoff is None:
+        cutoff = k.support_radius(b)
+    cutoff = float(cutoff)
+    if not np.isfinite(cutoff) or cutoff <= 0.0:
+        raise ParameterError(
+            f"kernel table cutoff must be finite and positive, got {cutoff}"
+        )
+    size = int(size)
+    if size < 2:
+        raise ParameterError(f"kernel table size must be >= 2, got {size}")
+    axis = "d2" if (k.poly_coeffs(b) is not None or k.name == "gaussian") else "d"
+    x_max = cutoff if axis == "d" else cutoff * cutoff
+    nodes = np.linspace(0.0, x_max, size)
+    d2_nodes = nodes * nodes if axis == "d" else nodes
+    values = k.evaluate_sq(d2_nodes, b).astype(np.float32)
+
+    # Certify the interpolation bound on an oversampled probe grid inside
+    # the support, evaluating the interpolant exactly as the scatter
+    # core's float32 mode does (clipped lookup in float32, truncation
+    # masked by the caller in float64).
+    probe = np.linspace(0.0, x_max, _TABLE_PROBE * (size - 1) + 1)
+    d2_probe = probe * probe if axis == "d" else probe
+    exact = k.evaluate_sq(d2_probe, b)
+    table = KernelTable(k.name, b, cutoff, axis, values, 0.0)
+    approx = table.lookup_sq_clipped(d2_probe.astype(np.float32))
+    measured = float(np.max(np.abs(approx.astype(np.float64) - exact)))
+    headroom = float(np.finfo(np.float32).eps) * float(np.max(np.abs(values), initial=0.0))
+    table.max_abs_error = measured + headroom
+    return table
 
 
 def temporal_expansion_matrix(

@@ -36,6 +36,7 @@ from ..network import (
     node_distances_with_split,
 )
 from .kernels import Kernel, get_kernel
+from .scatter import scatter_line
 
 __all__ = ["NKDVResult", "nkdv", "NKDV_METHODS", "NKDV_SPLITS"]
 
@@ -136,11 +137,7 @@ def _lixel_target_arrays(network: RoadNetwork, lixels: Lixelization):
     return edge_u, edge_v, edge_len
 
 
-def _scatter_event(
-    densities: np.ndarray,
-    kernel: Kernel,
-    bandwidth: float,
-    cutoff: float,
+def _event_lixel_distances(
     dist_u_events: float,
     dist_v_events: float,
     event_edge: int,
@@ -151,14 +148,14 @@ def _scatter_event(
     lix_len: np.ndarray,
     du: np.ndarray,
     dv: np.ndarray,
-    weight: float = 1.0,
-) -> None:
-    """Add one event's kernel mass to every lixel within the cutoff.
+) -> np.ndarray:
+    """Shortest-path distance from one event to every lixel midpoint.
 
     ``du``/``dv`` are node-distance maps from the event's edge endpoints;
     ``dist_u_events``/``dist_v_events`` are the event's offsets to those
     endpoints, already folded into the maps by the caller for the naive
-    backend (pass 0.0 then).
+    backend (pass 0.0 then).  The kernel accumulation itself happens in
+    :func:`repro.core.scatter.scatter_line`.
     """
     d_node = np.minimum(du + dist_u_events, dv + dist_v_events)
     d_lix = np.minimum(
@@ -168,19 +165,10 @@ def _scatter_event(
     span = lixels.lixels_of_edge(event_edge)
     direct = np.abs(lixels.lixel_mid[span] - event_offset)
     d_lix[span] = np.minimum(d_lix[span], direct)
-
-    near = d_lix <= cutoff
-    if near.any():
-        densities[near] += weight * kernel.evaluate(d_lix[near], bandwidth)
-        if obs.is_active():
-            obs.count("nkdv.lixel_scatters", int(near.sum()))
+    return d_lix
 
 
-def _scatter_event_split(
-    densities: np.ndarray,
-    kernel: Kernel,
-    bandwidth: float,
-    cutoff: float,
+def _event_lixel_distances_split(
     network: RoadNetwork,
     event_edge: int,
     event_offset: float,
@@ -190,15 +178,15 @@ def _scatter_event_split(
     lix_len: np.ndarray,
     d_node: np.ndarray,
     f_node: np.ndarray,
-    weight: float = 1.0,
-) -> None:
-    """Equal-split scatter: mass divides over outgoing edges at junctions.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equal-split distances: mass divides over outgoing edges at junctions.
 
-    Each lixel receives the kernel of its *shortest-path* distance scaled
-    by the split factor accumulated along that shortest path (the
-    discontinuous equal-split of Okabe & Sugihara, evaluated on the
-    shortest-path tree).  On networks without junctions (all degrees <= 2)
-    every factor is 1 and the result coincides with the unsplit NKDV.
+    Each lixel's distance is its *shortest-path* distance and its factor
+    the split accumulated along that shortest path (the discontinuous
+    equal-split of Okabe & Sugihara, evaluated on the shortest-path
+    tree).  On networks without junctions (all degrees <= 2) every factor
+    is 1 and the result coincides with the unsplit NKDV.  Returns
+    ``(d_lix, f_lix)`` for :func:`repro.core.scatter.scatter_line`.
     """
     degrees = np.diff(network.adj_start)
     out_split = f_node / np.maximum(degrees - 1, 1)
@@ -217,12 +205,7 @@ def _scatter_event_split(
     use_direct = direct <= d_span
     d_lix[span] = np.where(use_direct, direct, d_span)
     f_lix[span] = np.where(use_direct, 1.0, f_span)
-
-    near = (d_lix <= cutoff) & (f_lix > 0.0)
-    if near.any():
-        densities[near] += weight * f_lix[near] * kernel.evaluate(d_lix[near], bandwidth)
-        if obs.is_active():
-            obs.count("nkdv.lixel_scatters", int(near.sum()))
+    return d_lix, f_lix
 
 
 #: Events (``naive``) per parallel task.  Fixed constants — never derived
@@ -265,12 +248,16 @@ def _nkdv_block_task(task):
                     ],
                     cutoff=cutoff,
                 )
-                _scatter_event_split(
-                    densities, kern, bandwidth, cutoff, network,
-                    int(edges[i]), float(offsets[i]),
+                d_lix, f_lix = _event_lixel_distances_split(
+                    network, int(edges[i]), float(offsets[i]),
                     lixels, lix_u, lix_v, lix_len, d_node, f_node,
-                    weight=float(w_of[i]),
                 )
+                hits = scatter_line(
+                    densities, d_lix, kern, bandwidth, cutoff,
+                    weight=float(w_of[i]), factors=f_lix,
+                )
+                if hits:
+                    obs.count("nkdv.lixel_scatters", hits)
         else:
             for edge in block:
                 u, v = network.edge_nodes[edge]
@@ -284,12 +271,16 @@ def _nkdv_block_task(task):
                     pick_u = via_u <= via_v
                     d_node = np.where(pick_u, via_u, via_v)
                     f_node = np.where(pick_u, fu, fv)
-                    _scatter_event_split(
-                        densities, kern, bandwidth, cutoff, network,
-                        int(edge), o,
+                    d_lix, f_lix = _event_lixel_distances_split(
+                        network, int(edge), o,
                         lixels, lix_u, lix_v, lix_len, d_node, f_node,
-                        weight=float(w_of[i]),
                     )
+                    hits = scatter_line(
+                        densities, d_lix, kern, bandwidth, cutoff,
+                        weight=float(w_of[i]), factors=f_lix,
+                    )
+                    if hits:
+                        obs.count("nkdv.lixel_scatters", hits)
     elif method == "naive":
         for i in block:
             u, v = network.edge_nodes[edges[i]]
@@ -299,12 +290,16 @@ def _nkdv_block_task(task):
                 [(int(u), float(offsets[i])), (int(v), length - float(offsets[i]))],
                 cutoff=cutoff,
             )
-            _scatter_event(
-                densities, kern, bandwidth, cutoff,
+            d_lix = _event_lixel_distances(
                 0.0, 0.0, int(edges[i]), float(offsets[i]),
                 lixels, lix_u, lix_v, lix_len, dist, dist,
+            )
+            hits = scatter_line(
+                densities, d_lix, kern, bandwidth, cutoff,
                 weight=float(w_of[i]),
             )
+            if hits:
+                obs.count("nkdv.lixel_scatters", hits)
     else:
         for edge in block:
             u, v = network.edge_nodes[edge]
@@ -312,13 +307,17 @@ def _nkdv_block_task(task):
             du = node_distances(network, int(u), cutoff=cutoff)
             dv = node_distances(network, int(v), cutoff=cutoff)
             for i in np.flatnonzero(edges == edge):
-                _scatter_event(
-                    densities, kern, bandwidth, cutoff,
+                d_lix = _event_lixel_distances(
                     float(offsets[i]), length - float(offsets[i]),
                     int(edge), float(offsets[i]),
                     lixels, lix_u, lix_v, lix_len, du, dv,
+                )
+                hits = scatter_line(
+                    densities, d_lix, kern, bandwidth, cutoff,
                     weight=float(w_of[i]),
                 )
+                if hits:
+                    obs.count("nkdv.lixel_scatters", hits)
     return densities
 
 

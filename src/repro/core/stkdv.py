@@ -59,6 +59,7 @@ from .kdv.naive import kde_naive
 from .kdv.streaming import MultiSurfaceAccumulator
 from .kdv.sweep import kde_sweep
 from .kernels import Kernel, get_kernel, temporal_expansion_matrix
+from .scatter import resolve_dtype
 
 __all__ = ["STKDVResult", "stkdv", "STKDV_METHODS"]
 
@@ -137,24 +138,25 @@ def _naive_frame_task(task):
 def _window_frame_task(task):
     """One sliding-window STKDV frame over its temporal support."""
     (t, sorted_pts, sorted_ts, bbox, size, b_s, b_t, k_s, k_t, cutoff,
-     spatial_method) = task
+     spatial_method, dtype) = task
     nx, ny = size
     with obs.span("stkdv.frame"):
         obs.count("stkdv.frames")
         lo = np.searchsorted(sorted_ts, t - cutoff, side="left")
         hi = np.searchsorted(sorted_ts, t + cutoff, side="right")
         if lo >= hi:
-            return np.zeros((nx, ny), dtype=np.float64)
+            return np.zeros((nx, ny), dtype=dtype)
         w = k_t.evaluate(np.abs(sorted_ts[lo:hi] - t), b_t)
         active = w > 0.0
         if not active.any():
-            return np.zeros((nx, ny), dtype=np.float64)
+            return np.zeros((nx, ny), dtype=dtype)
         obs.count("stkdv.points_scattered", int(active.sum()))
         problem = KDVProblem(
             sorted_pts[lo:hi][active], bbox, size, b_s, k_s, weights=w[active]
         )
-        spatial_pass = kde_sweep if spatial_method == "sweep" else kde_gridcut
-        return spatial_pass(problem).values
+        if spatial_method == "sweep":
+            return kde_sweep(problem).values
+        return kde_gridcut(problem, dtype=dtype).values
 
 
 def _recenter_matrix(n_moments: int, delta: float) -> np.ndarray:
@@ -180,6 +182,7 @@ def _shared_frames(
     k_s: Kernel,
     cutoff: float,
     expansion: np.ndarray,
+    dtype=np.float64,
 ) -> list[np.ndarray]:
     """Temporal-sharing STKDV: incremental moment grids over sorted frames.
 
@@ -189,7 +192,7 @@ def _shared_frames(
     nx, ny = size
     n_moments = expansion.shape[0]
     acc = MultiSurfaceAccumulator(
-        bbox, size, b_s, kernel=k_s, n_surfaces=n_moments
+        bbox, size, b_s, kernel=k_s, n_surfaces=n_moments, dtype=dtype
     )
     order = np.argsort(frames, kind="stable")
     out: list[np.ndarray | None] = [None] * frames.shape[0]
@@ -208,7 +211,7 @@ def _shared_frames(
             resets += 1
             origin = t
             lo, hi = new_lo, new_hi
-            out[j] = np.zeros((nx, ny), dtype=np.float64)
+            out[j] = np.zeros((nx, ny), dtype=dtype)
             continue
         if acc.n_points and abs(t - origin) > _RECENTER_CUTOFFS * cutoff:
             acc.recombine(_recenter_matrix(n_moments, t - origin))
@@ -240,7 +243,9 @@ def _shared_frames(
         # Cancellation in the moment combination can leave tiny negative
         # residue where the true density is ~0; clip it like the streaming
         # accumulator does.
-        out[j] = np.maximum(acc.combine(alpha), 0.0)
+        # combine() runs in float64 (the factors are f64); fold back to
+        # the bank's dtype — a no-op in the default float64 mode.
+        out[j] = np.maximum(acc.combine(alpha), 0.0).astype(dtype, copy=False)
     obs.count("stkdv.frames", frames.shape[0])
     obs.count("stkdv.events_entering", entering_n)
     obs.count("stkdv.events_leaving", leaving_n)
@@ -262,6 +267,7 @@ def stkdv(
     kernel_time: str | Kernel = "epanechnikov",
     method: str = "auto",
     spatial_method: str = "auto",
+    dtype=None,
     workers: int | None = None,
     backend: str | None = None,
 ) -> STKDVResult:
@@ -294,6 +300,13 @@ def stkdv(
         ``shared`` backend always scatters (its moment grids are
         incremental cutoff-scatter surfaces), so this argument only
         affects ``window`` (including the ``shared`` fallback).
+    dtype:
+        Accuracy mode of the scatter core (``"float64"`` default,
+        bit-identical; ``"float32"`` table-driven under the bounded-error
+        contract in ``docs/PERFORMANCE.md``).  ``float32`` requires a
+        scatter path: it is rejected for ``method="naive"`` and for
+        ``spatial_method="sweep"``, and forces ``spatial_method="auto"``
+        to resolve to ``"grid"``.
     workers, backend:
         ``naive``/``window`` frame evaluation fans out over the shared
         executor (:mod:`repro.parallel`); each frame writes its own slice
@@ -327,6 +340,20 @@ def stkdv(
             # Non-polynomial temporal kernel: no finite moment bank exists;
             # fall back to per-frame windowing (documented contract).
             method = "window"
+    resolved_dtype = resolve_dtype(dtype)
+    if resolved_dtype == np.dtype(np.float32):
+        if method == "naive":
+            raise ParameterError(
+                "dtype='float32' requires a scatter path; the naive STKDV "
+                "method has none (use method='window' or 'shared')"
+            )
+        if spatial_method == "sweep":
+            raise ParameterError(
+                "dtype='float32' requires the scatter spatial pass; "
+                "spatial_method='sweep' is float64-only (use 'grid')"
+            )
+        if spatial_method == "auto":
+            spatial_method = "grid"
     if spatial_method == "auto":
         dx, dy = bbox.pixel_size(nx, ny)
         use_sweep = (
@@ -353,7 +380,7 @@ def stkdv(
             order = np.argsort(ts_vals, kind="stable")
             frame_values = _shared_frames(
                 frames, pts[order], ts_vals[order], bbox, (nx, ny),
-                b_s, k_s, cutoff, expansion,
+                b_s, k_s, cutoff, expansion, dtype=resolved_dtype,
             )
         else:
             cutoff = _temporal_cutoff(k_t, b_t)
@@ -362,7 +389,7 @@ def stkdv(
             sorted_ts = ts_vals[order]
             tasks = [
                 (float(t), sorted_pts, sorted_ts, bbox, (nx, ny), b_s, b_t, k_s,
-                 k_t, cutoff, spatial_method)
+                 k_t, cutoff, spatial_method, resolved_dtype)
                 for t in frames
             ]
             frame_values = parallel_map(

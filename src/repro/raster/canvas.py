@@ -37,7 +37,11 @@ class DensityGrid:
     diagnostics: Diagnostics | None = None
 
     def __post_init__(self) -> None:
-        arr = np.asarray(self.values, dtype=np.float64)
+        # float32 surfaces (the scatter core's reduced-accuracy mode) keep
+        # their dtype; everything else is coerced to the float64 default.
+        arr = np.asarray(self.values)
+        if arr.dtype != np.float32:
+            arr = np.asarray(arr, dtype=np.float64)
         if arr.ndim != 2:
             raise DataError(f"values must be 2-D, got shape {arr.shape}")
         if not np.all(np.isfinite(arr)):
