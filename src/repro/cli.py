@@ -119,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     kdv.add_argument(
         "--workers", type=int, default=None,
         help="worker count for the parallel/dualtree methods (default: "
-             "REPRO_WORKERS; with --method auto, selects the parallel backend)",
+             "REPRO_WORKERS; with --method auto, a planning hint that "
+             "steers the cost model toward the parallel-capable backends)",
     )
     kdv.add_argument(
         "--backend", default=None, choices=["serial", "thread", "process"],
@@ -136,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--dtype", default=None, choices=["float32", "float64"],
         help="scatter-core accuracy mode for --method grid (float64 = "
              "bit-exact default; float32 = bucketed kernel tables under "
-             "a bounded-error contract; with --method auto, selects grid)",
+             "a bounded-error contract; with --method auto, a planning "
+             "hint steering the cost model toward the grid backend)",
     )
 
     kfn = sub.add_parser("kfunction", help="K-function plot with CSR envelopes",
@@ -220,18 +222,23 @@ def _cmd_generate(args) -> int:
 
 def _cmd_kdv(args) -> int:
     ds = read_dataset_csv(args.input, margin=0.0)
-    method = args.method
-    if method == "auto" and (args.workers is not None or args.backend is not None):
-        # An explicit executor request selects the parallel exact backend.
-        method = "parallel"
-    if method == "auto" and args.dtype is not None:
-        # dtype is a scatter-core mode, so it selects the scatter backend.
-        method = "grid"
+    # method="auto" resolves through the cost-based planner inside
+    # kde_grid; --workers/--backend/--tau/--dtype pass through as
+    # planning hints (the pre-PR-8 CLI rewrote --method here, and its
+    # two sequential rewrites conflicted for --workers + --dtype).
     grid = kde_grid(
         ds.points, ds.bbox, args.size, args.bandwidth,
-        kernel=args.kernel, method=method, workers=args.workers,
+        kernel=args.kernel, method=args.method, workers=args.workers,
         backend=args.backend, tau=args.tau, dtype=args.dtype,
     )
+    plan = (
+        grid.diagnostics.records.get("kdv.plan")
+        if grid.diagnostics is not None else None
+    )
+    if plan is not None:
+        dropped = (f"; dropped: {', '.join(sorted(plan['dropped']))}"
+                   if plan["dropped"] else "")
+        print(f"auto plan: {plan['rationale']}{dropped}")
     print(
         f"KDV over {ds.points.shape[0]} events, grid {args.size[0]}x{args.size[1]}, "
         f"kernel={args.kernel}, b={args.bandwidth:g}; peak density {grid.max:.4g} "

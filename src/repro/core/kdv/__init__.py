@@ -11,15 +11,29 @@ from .dualtree import RefinementStats, kde_dualtree
 from .gridcut import kde_gridcut
 from .naive import kde_naive
 from .parallel import kde_parallel
+from .planner import (
+    CostModel,
+    KDVPlan,
+    calibrate,
+    clear_plan_cache,
+    plan_cache_info,
+    plan_kdv,
+)
 from .sampling import kde_sampling, sample_size
 from .streaming import KDVAccumulator, MultiSurfaceAccumulator
 from .sweep import kde_sweep
 
 __all__ = [
+    "CostModel",
     "KDVAccumulator",
+    "KDVPlan",
     "MultiSurfaceAccumulator",
     "KDVProblem",
     "RefinementStats",
+    "calibrate",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "plan_kdv",
     "adaptive_bandwidths",
     "kde_adaptive",
     "lscv_bandwidth",

@@ -15,7 +15,7 @@ method        algorithm                                             result
 ``sampling``  reweighted uniform subset (Equation 7)                prob.
 ``parallel``  thread-parallel exact gather                          exact
 ``adaptive``  Abramson/Silverman per-point bandwidths               exact**
-``auto``      sweep for polynomial kernels, grid otherwise          exact*
+``auto``      cost-based planner over the exact family              as chosen
 ============  ====================================================  ============
 
 (*) for infinite-support kernels, ``grid``/``auto`` truncate below a
@@ -36,10 +36,23 @@ the bit-identical worker-invariance contract; ``dualtree`` attaches a
 :mod:`repro.obs` when tracing is active, and the task's span tree rides
 on the returned grid's ``diagnostics``.
 
+``auto`` resolves through the cost-based planner of
+:mod:`repro.core.kdv.planner` — a calibrated per-backend cost model over
+``(n, nx*ny, bandwidth/pixel ratio, kernel family, workers)`` picks the
+cheapest backend among the exact family (``grid``/``sweep``/``naive``/
+``parallel``/``dualtree``), honours the :mod:`repro.parallel` worker
+default (``REPRO_WORKERS``), and caches plans by problem signature.  The
+decision is recorded on the result's ``diagnostics.records["kdv.plan"]``
+(method, rationale, per-backend predicted costs).
+
 Method-specific parameters (``eps``, ``delta``, ``sample``, ``seed``,
 ``index``, ``tau``, ``workers``, ``backend``, ``dtype``) raise
-:class:`~repro.errors.ParameterError` when combined with a method that
-would silently ignore them.
+:class:`~repro.errors.ParameterError` when combined with an *explicit*
+method that would silently ignore them.  With ``method="auto"`` they are
+planning hints instead: the audit runs against the planner-*resolved*
+method, which by construction honours as many of them as any single
+backend can (hints no backend can jointly honour are recorded under the
+plan's ``dropped`` mapping, never silently swallowed).
 """
 
 from __future__ import annotations
@@ -56,6 +69,7 @@ from .dualtree import kde_dualtree
 from .gridcut import kde_gridcut
 from .naive import kde_naive
 from .parallel import kde_parallel
+from .planner import _METHOD_ONLY_PARAMS, plan_kdv
 from .sampling import kde_sampling
 from .sweep import kde_sweep
 
@@ -65,21 +79,6 @@ KDV_METHODS = (
     "auto", "naive", "grid", "sweep", "bounds", "dualtree", "sampling", "parallel",
     "adaptive",
 )
-
-# Which methods honour each method-specific keyword.  ``None`` (the
-# argument default) always means "not requested"; an explicit value with
-# a method outside its row is an error rather than a silent no-op.
-_METHOD_ONLY_PARAMS: dict[str, tuple[str, ...]] = {
-    "eps": ("bounds", "sampling"),
-    "delta": ("sampling",),
-    "sample": ("sampling",),
-    "seed": ("sampling",),
-    "index": ("bounds",),
-    "tau": ("dualtree",),
-    "workers": ("parallel", "dualtree"),
-    "backend": ("parallel", "dualtree"),
-    "dtype": ("grid",),
-}
 
 
 def kde_grid(
@@ -145,7 +144,9 @@ def kde_grid(
         (default when omitted; bit-identical to the historical per-point
         loop) or ``"float32"`` (bucketed kernel-table evaluation under
         the bounded-error contract in ``docs/PERFORMANCE.md``).  Only
-        honoured by ``method="grid"``.
+        honoured by ``method="grid"``; with ``method="auto"`` it is a
+        planning hint (see :mod:`repro.core.kdv.planner`), as are all
+        the method-specific keywords above.
 
     Returns
     -------
@@ -162,21 +163,28 @@ def kde_grid(
         "workers": workers, "backend": backend, "index": index, "tau": tau,
         "dtype": dtype,
     }
-    for name, accepted_by in _METHOD_ONLY_PARAMS.items():
-        if requested[name] is not None and method not in accepted_by:
-            raise ParameterError(
-                f"{name}= is only honoured by method "
-                f"{' / '.join(repr(m) for m in accepted_by)}, not {method!r}"
-            )
+    explicit = {k: v for k, v in requested.items() if v is not None}
 
     problem = KDVProblem(points, bbox, size, bandwidth, kernel, weights=weights)
 
     with obs.task("kdv") as trace:
-        grid = _dispatch(
-            problem, method, eps=eps, delta=delta, sample=sample, seed=seed,
-            workers=workers, backend=backend, index=index, tau=tau,
-            dtype=dtype,
-        )
+        # Plan -> audit -> execute.  ``auto`` resolves through the
+        # planner *first*, so the audit always runs against a concrete
+        # backend and only sees the keywords the plan forwards (the
+        # pre-PR-8 ordering rejected legal calls like auto + workers=2).
+        if method == "auto":
+            plan = plan_kdv(problem, explicit)
+            method = plan.method
+            requested = dict.fromkeys(requested)
+            requested.update(plan.kwargs)
+            trace.record("kdv.plan", plan.as_dict())
+        for name, accepted_by in _METHOD_ONLY_PARAMS.items():
+            if requested[name] is not None and method not in accepted_by:
+                raise ParameterError(
+                    f"{name}= is only honoured by method "
+                    f"{' / '.join(repr(m) for m in accepted_by)}, not {method!r}"
+                )
+        grid = _dispatch(problem, method, **requested)
         values = grid.values
         if normalize:
             values = values * problem.normalization()
@@ -196,18 +204,9 @@ def _dispatch(
     method: str,
     eps, delta, sample, seed, workers, backend, index, tau, dtype,
 ) -> DensityGrid:
-    """Run one backend on a validated problem (tracing handled by caller)."""
+    """Run one resolved backend on a validated problem (tracing by caller)."""
     obs.count("kdv.points", problem.n)
     obs.count("kdv.pixels", problem.nx * problem.ny)
-
-    if method == "auto":
-        has_poly = problem.kernel.poly_coeffs(problem.bandwidth) is not None
-        dx, dy = problem.bbox.pixel_size(problem.nx, problem.ny)
-        # Sub-pixel bandwidths stress the sweep's polynomial cancellation
-        # and each point touches O(1) pixels anyway, so scatter wins there.
-        sub_pixel = problem.bandwidth < 2.0 * max(dx, dy)
-        method = "sweep" if has_poly and not sub_pixel else "grid"
-
     obs.count(f"kdv.method.{method}")
 
     if method == "naive":

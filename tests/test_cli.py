@@ -142,6 +142,46 @@ class TestKdvCommand:
         assert code == 1
         assert "tau" in capsys.readouterr().err
 
+    def test_auto_workers_dtype_combination(self, events_csv, capsys):
+        """PR 8 regression: the two sequential auto-rewrites in the old
+        _cmd_kdv conflicted, so --workers + --dtype with the default auto
+        method exited 1.  The planner now owns resolution."""
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1", "--size", "32x24",
+             "--workers", "2", "--dtype", "float32", "--ascii"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "auto plan:" in captured.out
+        assert "peak density" in captured.out
+
+    def test_auto_prints_plan_rationale(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "32x24",
+             "--ascii"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto plan:" in out and "predicted" in out
+
+    def test_auto_tau_resolves_to_dualtree(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "32x24",
+             "--tau", "0.5", "--ascii"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto plan: dualtree" in out
+        assert "refinement:" in out
+
+    def test_explicit_method_prints_no_plan(self, events_csv, capsys):
+        code = main(
+            ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "16x12",
+             "--method", "grid", "--ascii"]
+        )
+        assert code == 0
+        assert "auto plan:" not in capsys.readouterr().out
+
     def test_backend_flag_dualtree(self, events_csv, capsys):
         code = main(
             ["kdv", str(events_csv), "--bandwidth", "1.5", "--size", "16x12",

@@ -267,9 +267,14 @@ class TestKdeGridParameterAudit:
         with pytest.raises(ParameterError, match="tau.*dualtree"):
             kde_grid(small_points, bbox, SIZE, BW, method="naive", tau=0.1)
 
-    def test_tau_with_auto_raises(self, small_points, bbox):
-        with pytest.raises(ParameterError, match="tau"):
-            kde_grid(small_points, bbox, SIZE, BW, tau=0.1)
+    def test_tau_with_auto_resolves_to_dualtree(self, small_points, bbox):
+        """Since PR 8 the planner resolves auto *before* the audit, so a
+        tau= hint legally steers auto to the dual-tree backend instead of
+        crashing (the audit-before-resolution bug class)."""
+        grid = kde_grid(small_points, bbox, SIZE, BW, tau=0.1)
+        plan = grid.diagnostics.records["kdv.plan"]
+        assert plan["method"] == "dualtree"
+        assert plan["kwargs"] == {"tau": "0.1"}
 
     def test_eps_with_dualtree_raises(self, small_points, bbox):
         with pytest.raises(ParameterError, match="eps"):
