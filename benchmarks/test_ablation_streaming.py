@@ -9,12 +9,14 @@ per-refresh cost, verifying the streamed surface matches the batch one.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.kdv import KDVAccumulator, KDVProblem, kde_gridcut
 
-from _util import record
+from _util import RESULTS_DIR, record
 
 SIZE = (128, 96)
 BANDWIDTH = 1.5
@@ -72,6 +74,22 @@ def test_zz_report(benchmark):
         stream_t = by_key["streaming (250-event slide)"]
         batch_t = by_key["batch recompute (5000 events)"]
         assert stream_t < batch_t, "the incremental update must beat recompute"
+        payload = {
+            "experiment": "streaming",
+            "workload": "chicago_crime(20000)",
+            "size": list(SIZE),
+            "bandwidth": BANDWIDTH,
+            "window": WINDOW,
+            "slide": STEP,
+            "results": [
+                {"strategy": k, "mean_seconds": t} for k, t in ROWS
+            ],
+            "delta_vs_batch_speedup": batch_t / stream_t,
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_streaming.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
         rows = [[k, f"{t * 1e3:.1f} ms"] for k, t in ROWS]
         rows.append(["speedup per refresh", f"{batch_t / stream_t:.1f}x"])
         return record(

@@ -8,8 +8,11 @@ This example:
 2. confirms space-time *interaction* with the permutation-null
    spatiotemporal K-function (shuffled timestamps destroy the clustering
    only if the clustering is genuinely spatio-temporal),
-3. drives a **streaming dashboard**: a sliding 10-day KDV window maintained
-   incrementally with `KDVAccumulator`, printing the moving hotspot.
+3. drives a **streaming dashboard**: a 10-day sliding window pushed
+   through `repro.stream`, whose `StreamingKDV` maintains the density
+   surface by delta (with drift control and a dirty-tile ledger) while
+   `StreamingHotspot` tracks the Gi* hot cells — no per-refresh window
+   bookkeeping in the example itself.
 
 Usage::
 
@@ -21,8 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 import repro
-from repro.core.kdv import KDVAccumulator
 from repro.data import hawkes_st
+from repro.stream import StreamEngine, StreamingHotspot, StreamingKDV, StreamWindow
 
 
 def simulate():
@@ -53,25 +56,27 @@ def interaction_test(bbox, pts, times):
 
 def streaming_dashboard(bbox, pts, times):
     print("\n== streaming 10-day hotspot dashboard ==")
-    acc = KDVAccumulator(bbox, (64, 64), bandwidth=1.2, kernel="quartic")
-    window = 10.0
-    order = np.argsort(times)
-    pts, times = pts[order], times[order]
-    lo = 0
+    engine = StreamEngine(StreamWindow(horizon=10.0))
+    kdv = StreamingKDV(bbox, (64, 64), 1.2, kernel="quartic")
+    hotspot = StreamingHotspot(bbox, (10, 10))
+    engine.register("kdv", kdv)
+    engine.register("hotspot", hotspot)
     hi = 0
     for day in np.arange(10.0, 101.0, 15.0):
         new_hi = int(np.searchsorted(times, day, side="right"))
-        new_lo = int(np.searchsorted(times, day - window, side="left"))
-        acc.add(pts[hi:new_hi])
-        acc.remove(pts[lo:new_lo])
-        lo, hi = new_lo, new_hi
-        grid = acc.grid()
-        if acc.n_points == 0:
+        engine.push(pts[hi:new_hi], times[hi:new_hi])
+        hi = new_hi
+        if kdv.n_points == 0:
             print(f"  day {day:5.0f}: no active cases")
             continue
+        grid = kdv.snapshot()
+        hot = hotspot.snapshot()
         x, y = grid.argmax_coords()
-        print(f"  day {day:5.0f}: {acc.n_points:4d} active cases, "
-              f"hotspot at ({x:5.1f}, {y:5.1f}), peak {grid.max:7.2f}")
+        dirty = grid.diagnostics.records["dirty_tiles"]
+        print(f"  day {day:5.0f}: {kdv.n_points:4d} active cases, "
+              f"hotspot at ({x:5.1f}, {y:5.1f}), peak {grid.max:7.2f}, "
+              f"{int((hot.values > 1.96).sum()):2d} hot cells, "
+              f"{dirty} tiles repainted")
 
 
 def main() -> None:

@@ -519,3 +519,18 @@ register_deprecation(
         since="PR 7 (scatter core)",
     )
 )
+
+# Recompute-per-refresh sliding-window bookkeeping around a raw
+# KDVAccumulator is superseded by the streaming engine, which owns the
+# window, the drift policy and the dirty-tile ledger.  The accumulator
+# itself remains the engine's substrate (reached via relative imports,
+# which RPR014 does not flag); new *call sites* should go through
+# repro.stream.
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.kdv.streaming.KDVAccumulator",
+        replacement="repro.stream.StreamingKDV",
+        since="PR 9 (streaming engine)",
+    )
+)

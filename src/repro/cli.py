@@ -201,6 +201,61 @@ def build_parser() -> argparse.ArgumentParser:
              "ignored by the serial shared backend",
     )
 
+    strm = sub.add_parser(
+        "stream",
+        help="drive the incremental streaming engine over a live feed",
+        parents=[trace_parent],
+    )
+    strm.add_argument(
+        "input", nargs="?", default=None,
+        help="optional CSV of x,y[,t] events replayed in time order; "
+             "omitted = simulate a Hawkes (self-exciting) feed",
+    )
+    strm.add_argument(
+        "--events", type=_positive_int, default=2000,
+        help="number of events of the simulated Hawkes feed (ignored with "
+             "an input CSV)",
+    )
+    strm.add_argument("--seed", type=int, default=0,
+                      help="seed of the simulated feed")
+    strm.add_argument(
+        "--window", type=_positive_int, default=1000,
+        help="sliding window capacity in events (count-based mode)",
+    )
+    strm.add_argument(
+        "--horizon", type=float, default=None,
+        help="sliding window length in time units (replaces --window)",
+    )
+    strm.add_argument(
+        "--step", type=_positive_int, default=100,
+        help="events per push (the feed's batch size)",
+    )
+    strm.add_argument(
+        "--bandwidth", type=float, default=None,
+        help="KDV bandwidth (default: 5%% of the window diagonal)",
+    )
+    strm.add_argument("--size", type=_parse_size, default=(128, 96),
+                      help="KDV raster resolution")
+    strm.add_argument("--lattice", type=_parse_size, default=(24, 16),
+                      help="hot-spot cell lattice resolution")
+    strm.add_argument(
+        "--thresholds", type=_positive_int, default=4,
+        help="number of K-function distance thresholds",
+    )
+    strm.add_argument("--out", help="output PPM path of the final surface")
+    strm.add_argument("--ascii", action="store_true",
+                      help="print a terminal preview of the final surface")
+    strm.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for re-scatters and large delta queries "
+             "(default: REPRO_WORKERS); surfaces are bit-identical for "
+             "every choice",
+    )
+    strm.add_argument(
+        "--backend", default=None, choices=["serial", "thread", "process"],
+        help="executor backend (default: REPRO_BACKEND)",
+    )
+
     return parser
 
 
@@ -352,6 +407,89 @@ def _cmd_stkdv(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from .data import hawkes_stream
+    from .geometry import BoundingBox
+    from .stream import (
+        StreamEngine,
+        StreamingHotspot,
+        StreamingKDV,
+        StreamingKFunction,
+        StreamWindow,
+    )
+
+    if args.input:
+        ds = read_dataset_csv(args.input)
+        bbox = ds.bbox
+        pts = ds.points
+        times = (
+            ds.times if isinstance(ds, SpatioTemporalDataset)
+            else np.arange(pts.shape[0], dtype=np.float64)
+        )
+        order = np.argsort(times, kind="stable")
+        pts, times = pts[order], times[order]
+    else:
+        bbox = BoundingBox(0.0, 0.0, 20.0, 20.0)
+        pts, times = hawkes_stream(bbox, args.events, mu=2.0, seed=args.seed)
+
+    bandwidth = args.bandwidth
+    if bandwidth is None:
+        bandwidth = 0.05 * bbox.diagonal
+    window = (
+        StreamWindow(horizon=args.horizon) if args.horizon is not None
+        else StreamWindow(capacity=args.window)
+    )
+    engine = StreamEngine(window)
+    kdv = StreamingKDV(
+        bbox, args.size, bandwidth,
+        workers=args.workers, backend=args.backend,
+    )
+    hotspot = StreamingHotspot(bbox, args.lattice)
+    rmax = 0.25 * bbox.diagonal
+    thresholds = np.linspace(rmax / args.thresholds, rmax, args.thresholds)
+    kfn = StreamingKFunction(
+        bbox, thresholds, workers=args.workers, backend=args.backend
+    )
+    engine.register("kdv", kdv)
+    engine.register("hotspot", hotspot)
+    engine.register("kfunction", kfn)
+
+    for c0 in range(0, pts.shape[0], args.step):
+        engine.push(pts[c0:c0 + args.step], times[c0:c0 + args.step])
+
+    grid = kdv.snapshot()
+    records = grid.diagnostics.records
+    print(
+        f"streamed {engine.events_pushed} events in {engine.pushes} pushes; "
+        f"window holds {len(window)} "
+        f"({'horizon ' + format(args.horizon, 'g') if args.horizon is not None else 'capacity ' + str(args.window)})"
+    )
+    print(
+        f"KDV: grid {kdv.nx}x{kdv.ny}, b={bandwidth:g}, peak {grid.max:.4g}; "
+        f"{records['dirty_tiles']}/{kdv.ledger.tiles_nx * kdv.ledger.tiles_ny} "
+        f"tiles dirty since last snapshot, {records['rescatters']} re-scatters, "
+        f"drift ratio {records['drift_ratio']:.2f}"
+    )
+    gi = hotspot.snapshot()
+    hot_cells = int((gi.values > 1.96).sum())
+    cold_cells = int((gi.values < -1.96).sum())
+    print(
+        f"Gi*: lattice {hotspot.nx}x{hotspot.ny}, {hot_cells} hot / "
+        f"{cold_cells} cold cells at |z| > 1.96"
+    )
+    snap = kfn.snapshot()
+    csr = np.pi * snap.thresholds ** 2
+    print(f"{'s':>10} {'K(s)':>12} {'pi s^2':>12}")
+    for s, k, c in zip(snap.thresholds, snap.k, csr):
+        print(f"{s:>10.4g} {k:>12.4g} {c:>12.4g}")
+    if args.out:
+        write_ppm(args.out, grid, "heat")
+        print(f"surface written to {args.out}")
+    if args.ascii:
+        print(ascii_render(grid, width=72))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "kdv": _cmd_kdv,
@@ -359,6 +497,7 @@ _COMMANDS = {
     "hotspots": _cmd_hotspots,
     "csrtest": _cmd_csrtest,
     "stkdv": _cmd_stkdv,
+    "stream": _cmd_stream,
 }
 
 

@@ -2,7 +2,7 @@
 
 from .fdr import fdr_mask, fdr_threshold
 from .geary import GearyCResult, gearys_c
-from .getis import GeneralGResult, general_g, local_gi_star
+from .getis import GeneralGResult, general_g, gi_star_scores, local_gi_star
 from .moran import LocalMoranResult, MoranResult, local_morans_i, morans_i
 from .weights import (
     SpatialWeights,
@@ -22,6 +22,7 @@ __all__ = [
     "fdr_mask",
     "fdr_threshold",
     "general_g",
+    "gi_star_scores",
     "knn_weights",
     "lattice_weights",
     "local_gi_star",

@@ -20,7 +20,7 @@ from ...errors import DataError
 from .moran import _normal_sf
 from .weights import SpatialWeights
 
-__all__ = ["GeneralGResult", "general_g", "local_gi_star"]
+__all__ = ["GeneralGResult", "general_g", "gi_star_scores", "local_gi_star"]
 
 
 @dataclass(frozen=True)
@@ -107,6 +107,46 @@ def general_g(values, weights: SpatialWeights) -> GeneralGResult:
     )
 
 
+def gi_star_scores(
+    values: np.ndarray,
+    lag: np.ndarray,
+    w_sum: np.ndarray,
+    w_sq: np.ndarray,
+) -> np.ndarray:
+    """Closed-form Gi* z-scores from precomputed neighbourhood sums.
+
+    Shared by the batch :func:`local_gi_star` (which builds ``lag`` /
+    ``w_sum`` / ``w_sq`` by walking the CSR weights) and the streaming
+    hot-spot analytic (which maintains them incrementally).  Both callers
+    thus share the exact arithmetic, so a streamed map over the same
+    window contents matches the batch map to within rounding of the
+    summation order.
+
+    Parameters
+    ----------
+    values:
+        Observation vector ``z`` (length ``n``), float64.
+    lag:
+        Per-location weighted neighbour sum ``sum_j w_ij z_j`` *excluding*
+        the self link.
+    w_sum, w_sq:
+        Per-location ``sum_j w_ij`` and ``sum_j w_ij^2`` excluding the
+        self link; the Gi* self-inclusion (+1 each) is applied here.
+    """
+    z = np.asarray(values, dtype=np.float64)
+    n = z.shape[0]
+    z_bar = z.mean()
+    s = float(np.sqrt((z * z).mean() - z_bar * z_bar))
+    if s == 0.0:
+        raise DataError("values are constant; Gi* is undefined")
+    # Gi* includes the focal observation with weight 1.
+    ws = np.asarray(w_sum, dtype=np.float64) + 1.0
+    wq = np.asarray(w_sq, dtype=np.float64) + 1.0
+    num = np.asarray(lag, dtype=np.float64) + z - z_bar * ws
+    denom = s * np.sqrt(np.maximum((n * wq - ws * ws) / (n - 1.0), 1e-300))
+    return num / denom
+
+
 def local_gi_star(values, weights: SpatialWeights) -> np.ndarray:
     """Local Gi* z-scores (self-inclusive neighbourhoods).
 
@@ -117,18 +157,12 @@ def local_gi_star(values, weights: SpatialWeights) -> np.ndarray:
     """
     n = weights.n
     z = as_values(values, n)
-    z_bar = z.mean()
-    s = float(np.sqrt((z * z).mean() - z_bar * z_bar))
-    if s == 0.0:
-        raise DataError("values are constant; Gi* is undefined")
-
-    out = np.empty(n, dtype=np.float64)
+    lag = np.empty(n, dtype=np.float64)
+    w_sum = np.empty(n, dtype=np.float64)
+    w_sq = np.empty(n, dtype=np.float64)
     for i in range(n):
         cols, w = weights.row(i)
-        # Gi* includes the focal observation with weight 1.
-        w_sum = float(w.sum()) + 1.0
-        w_sq = float((w * w).sum()) + 1.0
-        num = float((w * z[cols]).sum()) + z[i] - z_bar * w_sum
-        denom = s * np.sqrt(max((n * w_sq - w_sum * w_sum) / (n - 1.0), 1e-300))
-        out[i] = num / denom
-    return out
+        lag[i] = float((w * z[cols]).sum())
+        w_sum[i] = float(w.sum())
+        w_sq[i] = float((w * w).sum())
+    return gi_star_scores(z, lag, w_sum, w_sq)

@@ -17,7 +17,14 @@ from .network import (
     network_ripley_k,
 )
 from .pcf import pair_correlation
-from .planar import K_METHODS, border_ripley_k, k_function, l_function, ripley_k
+from .planar import (
+    K_METHODS,
+    border_ripley_k,
+    k_function,
+    l_function,
+    ripley_k,
+    ripley_normalize,
+)
 from .result import NetworkKResult, STKResult
 from .spacetime import (
     ST_K_METHODS,
@@ -53,6 +60,7 @@ __all__ = [
     "network_ripley_k",
     "pair_correlation",
     "ripley_k",
+    "ripley_normalize",
     "st_k_function",
     "st_k_function_plot",
 ]

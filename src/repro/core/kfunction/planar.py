@@ -26,7 +26,14 @@ from ...errors import ParameterError
 from ...geometry import BoundingBox
 from ...index import GridIndex, KDTree
 
-__all__ = ["k_function", "ripley_k", "border_ripley_k", "l_function", "K_METHODS"]
+__all__ = [
+    "k_function",
+    "ripley_k",
+    "ripley_normalize",
+    "border_ripley_k",
+    "l_function",
+    "K_METHODS",
+]
 
 K_METHODS = ("auto", "naive", "grid", "kdtree")
 
@@ -137,6 +144,20 @@ def k_function(
     return counts.astype(np.int64)
 
 
+def ripley_normalize(counts, n: int, bbox: BoundingBox) -> np.ndarray:
+    """Turn ordered pair counts into Ripley's K: ``|A| counts / (n (n-1))``.
+
+    Shared by the batch :func:`ripley_k` and the streaming K-function so
+    maintained pair counts and freshly computed ones pass through the exact
+    same arithmetic (the streamed-equals-batch contract reduces to the
+    integer pair counts being equal).
+    """
+    if n < 2:
+        raise ParameterError("Ripley's K needs at least two points")
+    counts = np.asarray(counts)
+    return bbox.area * counts.astype(np.float64) / (n * (n - 1))
+
+
 def ripley_k(
     points,
     thresholds,
@@ -156,7 +177,7 @@ def ripley_k(
     counts = k_function(
         pts, thresholds, method=method, bbox=bbox, edge_correction=edge_correction
     )
-    return bbox.area * counts.astype(np.float64) / (n * (n - 1))
+    return ripley_normalize(counts, n, bbox)
 
 
 def border_ripley_k(

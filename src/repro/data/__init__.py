@@ -8,7 +8,7 @@ from .datasets import (
     network_accidents,
     nyc_taxi,
 )
-from .hawkes import hawkes_st
+from .hawkes import hawkes_st, hawkes_stream
 from .io import read_dataset_csv, read_points_csv, write_csv
 from .processes import csr, inhibited, inhomogeneous, matern, mixture, poisson, thomas
 
@@ -18,6 +18,7 @@ __all__ = [
     "chicago_crime",
     "csr",
     "hawkes_st",
+    "hawkes_stream",
     "hk_covid",
     "inhibited",
     "inhomogeneous",

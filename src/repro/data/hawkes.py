@@ -23,7 +23,7 @@ from .._validation import check_non_negative, check_positive, resolve_rng
 from ..errors import ParameterError
 from ..geometry import BoundingBox
 
-__all__ = ["hawkes_st"]
+__all__ = ["hawkes_st", "hawkes_stream"]
 
 
 def hawkes_st(
@@ -109,3 +109,49 @@ def hawkes_st(
     all_times = np.concatenate(times) if times else np.empty(0)
     order = np.argsort(all_times)
     return all_pts[order], all_times[order]
+
+
+def hawkes_stream(
+    bbox: BoundingBox,
+    n: int,
+    mu: float = 2.0,
+    alpha: float = 0.5,
+    beta: float = 0.1,
+    sigma: float = 0.5,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exactly ``n`` time-ordered Hawkes events — the live-feed workload.
+
+    :func:`hawkes_st` yields a *random* event count for a fixed horizon;
+    streaming benchmarks and tests need a deterministic length.  This
+    wrapper grows the horizon geometrically (re-simulating with the same
+    seed-derived generator sequence each round) until at least ``n``
+    events land, then truncates to the first ``n`` in time order.  Event
+    times are non-decreasing, as the sliding window's FIFO eviction
+    requires.
+    """
+    if int(n) != n or n <= 0:
+        raise ParameterError(f"n must be a positive integer, got {n!r}")
+    n = int(n)
+    mu = check_positive(mu, "mu")
+    # Expected total intensity ~ mu * area / (1 - alpha) per unit time.
+    branching = max(1.0 - float(alpha), 1e-3)
+    horizon = max(n * branching / (mu * bbox.area), 1e-6)
+    for attempt in range(32):
+        pts, times = hawkes_st(
+            bbox,
+            horizon,
+            mu,
+            alpha=alpha,
+            beta=beta,
+            sigma=sigma,
+            seed=seed,
+            max_events=max(1_000_000, 64 * n),
+        )
+        if pts.shape[0] >= n:
+            return pts[:n], times[:n]
+        horizon *= 2.0
+    raise ParameterError(
+        f"could not generate {n} Hawkes events after {attempt + 1} horizon "
+        "doublings; increase mu"
+    )

@@ -13,8 +13,9 @@ grids as the standard carriers).  They expose a common core:
 """
 
 from .balltree import BallTree
+from .dynamic import DynamicGridIndex
 from .grid import GridIndex
 from .kdtree import KDTree
 from .rangetree import RangeTree
 
-__all__ = ["BallTree", "GridIndex", "KDTree", "RangeTree"]
+__all__ = ["BallTree", "DynamicGridIndex", "GridIndex", "KDTree", "RangeTree"]

@@ -1,0 +1,236 @@
+"""Sliding event window and the streaming engine that drives analytics.
+
+The interactive systems the paper surveys (KDV-Explorer [28], live COVID
+hotspot dashboards [6, 8]) consume an unbounded feed of time-stamped
+events but display analytics over a bounded recent *window*.  This module
+provides the two pieces every streaming analytic shares:
+
+* :class:`StreamWindow` — a FIFO buffer of ``(point, time)`` events,
+  sliding either by **count** (keep the most recent ``capacity`` events)
+  or by **time** (keep events younger than ``horizon``).  Each push
+  returns a :class:`StreamDelta` naming exactly which events entered and
+  which expired, which is all an incremental analytic needs.
+* :class:`StreamEngine` — owns a window plus a set of registered
+  analytics and forwards every delta to each of them, so one ``push`` per
+  feed batch keeps every registered surface current.
+
+Event times must be non-decreasing across pushes (a feed, not a shuffle):
+FIFO prefix eviction relies on it, and :meth:`StreamWindow.push` enforces
+it eagerly so a violation surfaces at the offending push, not as a
+silently wrong window three refreshes later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from .._validation import as_points, as_timestamps, check_positive
+from ..errors import DataError, ParameterError
+
+__all__ = ["StreamDelta", "StreamEngine", "StreamWindow"]
+
+
+@dataclass(frozen=True)
+class StreamDelta:
+    """What one push changed: the events that entered and those that left.
+
+    ``window`` references the :class:`StreamWindow` *after* the push, so
+    analytics that occasionally need the full contents (the KDV
+    re-scatter escape hatch) can reach them without each keeping its own
+    copy of the event buffer.
+    """
+
+    entered_points: np.ndarray
+    entered_times: np.ndarray
+    left_points: np.ndarray
+    left_times: np.ndarray
+    window: "StreamWindow"
+
+    @property
+    def n_entered(self) -> int:
+        """Number of events that entered the window in this push."""
+        return int(self.entered_points.shape[0])
+
+    @property
+    def n_left(self) -> int:
+        """Number of events that expired out of the window in this push."""
+        return int(self.left_points.shape[0])
+
+
+class StreamWindow:
+    """FIFO sliding window over a time-ordered event feed.
+
+    Parameters
+    ----------
+    capacity:
+        Count-based mode — after each push only the most recent
+        ``capacity`` events remain.
+    horizon:
+        Time-based mode — after a push whose newest event time is ``t``,
+        events with time ``<= t - horizon`` expire.
+
+    Exactly one of the two must be given.  Contents are stored in arrival
+    order in growable arrays with a moving head, compacted when the dead
+    prefix dominates, so both push and eviction are amortised O(changed
+    events).
+    """
+
+    def __init__(self, capacity: int | None = None,
+                 horizon: float | None = None):
+        if (capacity is None) == (horizon is None):
+            raise ParameterError(
+                "exactly one of capacity/horizon must be given"
+            )
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                raise ParameterError(
+                    f"capacity must be a positive integer, got {capacity}"
+                )
+        if horizon is not None:
+            horizon = check_positive(horizon, "horizon")
+        self.capacity = capacity
+        self.horizon = horizon
+        self._pts = np.empty((64, 2), dtype=np.float64)
+        self._ts = np.empty(64, dtype=np.float64)
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    @property
+    def points(self) -> np.ndarray:
+        """Current window contents, oldest first (a defensive copy)."""
+        return self._pts[self._head:self._tail].copy()
+
+    @property
+    def times(self) -> np.ndarray:
+        """Event times of the current contents, non-decreasing (a copy)."""
+        return self._ts[self._head:self._tail].copy()
+
+    def _reserve(self, n: int) -> None:
+        live = self._tail - self._head
+        cap = self._ts.shape[0]
+        if self._tail + n <= cap and self._head <= cap // 2:
+            return
+        new_cap = max(64, cap)
+        while new_cap < 2 * (live + n):
+            new_cap *= 2
+        pts = np.empty((new_cap, 2), dtype=np.float64)
+        ts = np.empty(new_cap, dtype=np.float64)
+        pts[:live] = self._pts[self._head:self._tail]
+        ts[:live] = self._ts[self._head:self._tail]
+        self._pts, self._ts = pts, ts
+        self._head, self._tail = 0, live
+
+    def push(self, points, times) -> StreamDelta:
+        """Append a batch of events, expire the stale prefix, report both.
+
+        ``times`` must be non-decreasing within the batch and no earlier
+        than the newest event already in the window.  The returned delta
+        reports *net* changes: a pushed event that is evicted by the very
+        same push (a batch larger than the capacity, or a batch spanning
+        more than the horizon) appears in neither ``entered_points`` nor
+        ``left_points``, so ``entered`` is always a subset of the window
+        after the push and ``left`` a subset of the window before it.
+        """
+        pts = as_points(points, allow_empty=True)
+        ts = as_timestamps(times, pts.shape[0])
+        if ts.shape[0]:
+            if np.any(np.diff(ts) < 0):
+                raise DataError("event times must be non-decreasing")
+            if len(self) and ts[0] < self._ts[self._tail - 1]:
+                raise DataError(
+                    "event times must not precede the newest event already "
+                    f"in the window ({self._ts[self._tail - 1]!r})"
+                )
+        n_old = len(self)
+        self._reserve(pts.shape[0])
+        self._pts[self._tail:self._tail + pts.shape[0]] = pts
+        self._ts[self._tail:self._tail + ts.shape[0]] = ts
+        self._tail += pts.shape[0]
+
+        # FIFO prefix eviction: count- or time-based.
+        new_head = self._head
+        if self.capacity is not None:
+            new_head = max(new_head, self._tail - self.capacity)
+        elif self._tail > self._head:
+            cutoff = self._ts[self._tail - 1] - self.horizon
+            # Oldest-first times: binary search for the live suffix.
+            new_head = self._head + int(np.searchsorted(
+                self._ts[self._head:self._tail], cutoff, side="right"
+            ))
+        evicted = new_head - self._head
+        # Split the evictions into pre-existing events (reported as left)
+        # and pushed events dead on arrival (reported in neither set).
+        n_doa = max(0, evicted - n_old)
+        left_pts = self._pts[self._head:self._head + min(evicted, n_old)].copy()
+        left_ts = self._ts[self._head:self._head + min(evicted, n_old)].copy()
+        self._head = new_head
+        return StreamDelta(
+            entered_points=pts[n_doa:],
+            entered_times=ts[n_doa:],
+            left_points=left_pts,
+            left_times=left_ts,
+            window=self,
+        )
+
+
+class StreamEngine:
+    """Fan one event feed out to every registered streaming analytic.
+
+    ``engine.push(points, times)`` slides the window once and hands the
+    resulting :class:`StreamDelta` to each analytic's ``apply`` in
+    registration order, so all registered surfaces describe the same
+    window contents after every push.
+    """
+
+    def __init__(self, window: StreamWindow):
+        if not isinstance(window, StreamWindow):
+            raise ParameterError("window must be a StreamWindow")
+        self.window = window
+        self._analytics: dict[str, object] = {}
+        self.events_pushed = 0
+        self.pushes = 0
+
+    @property
+    def analytics(self) -> dict[str, object]:
+        """Registered analytics by name (a shallow copy)."""
+        return dict(self._analytics)
+
+    def register(self, name: str, analytic) -> "StreamEngine":
+        """Attach an analytic (anything with ``apply(delta)``) by name."""
+        if not name or not isinstance(name, str):
+            raise ParameterError("analytic name must be a non-empty string")
+        if name in self._analytics:
+            raise ParameterError(f"analytic {name!r} already registered")
+        if not callable(getattr(analytic, "apply", None)):
+            raise ParameterError(
+                f"analytic {name!r} must expose an apply(delta) method"
+            )
+        self._analytics[name] = analytic
+        return self
+
+    def push(self, points, times) -> StreamDelta:
+        """Slide the window and update every registered analytic."""
+        delta = self.window.push(points, times)
+        self.pushes += 1
+        self.events_pushed += delta.n_entered
+        obs.count("stream.events", delta.n_entered)
+        obs.count("stream.expired", delta.n_left)
+        for name, analytic in self._analytics.items():
+            with obs.span(f"stream.{name}"):
+                analytic.apply(delta)
+        obs.gauge("stream.window", float(len(self.window)))
+        return delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(self._analytics) or "none"
+        return (
+            f"StreamEngine(window={len(self.window)}, analytics=[{names}], "
+            f"pushes={self.pushes})"
+        )

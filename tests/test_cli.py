@@ -290,6 +290,55 @@ class TestStkdvCommand:
         assert "positive integer" in capsys.readouterr().err
 
 
+class TestStreamCommand:
+    def test_simulated_feed_smoke(self, capsys):
+        code = main(["stream", "--events", "400", "--window", "200",
+                     "--step", "80", "--size", "48x32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed 400 events" in out
+        assert "window holds 200" in out
+        assert "re-scatters" in out
+        assert "K(s)" in out
+
+    def test_csv_replay_with_times(self, st_events_csv, capsys):
+        code = main(["stream", str(st_events_csv), "--window", "120",
+                     "--step", "50", "--size", "48x32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window holds 120" in out
+
+    def test_csv_without_times_uses_arrival_order(self, events_csv, capsys):
+        code = main(["stream", str(events_csv), "--window", "100",
+                     "--size", "32x24"])
+        assert code == 0
+        assert "window holds 100" in capsys.readouterr().out
+
+    def test_horizon_mode_and_outputs(self, tmp_path, capsys):
+        out_ppm = tmp_path / "stream.ppm"
+        code = main(["stream", "--events", "300", "--horizon", "5.0",
+                     "--step", "60", "--size", "48x32",
+                     "--out", str(out_ppm), "--ascii"])
+        assert code == 0
+        assert out_ppm.exists()
+        out = capsys.readouterr().out
+        assert "horizon 5" in out
+
+    def test_trace_prints_stream_spans(self, capsys):
+        code = main(["stream", "--events", "300", "--window", "150",
+                     "--step", "60", "--size", "32x24", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "stream.kdv" in out
+
+    def test_zero_events_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stream", "--events", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
 class TestTraceFlag:
     def test_kdv_trace_prints_span_tree(self, events_csv, capsys):
         code = main(

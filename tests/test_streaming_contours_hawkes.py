@@ -148,6 +148,96 @@ class TestMultiSurfaceAccumulator:
         assert acc.grid().max == 0.0
 
 
+class TestDriftRegression:
+    """Cancellation-drift contract: thousands of add/remove cycles stay
+    within the published ``drift_tolerance`` of a fresh scatter, for both
+    accuracy modes, and ``reset`` restarts the drift clock entirely."""
+
+    SIZE = (32, 24)
+
+    def _churn(self, bbox, dtype, cycles, batch=16, window=160):
+        rng = np.random.default_rng(99)
+        pts = rng.uniform([bbox.xmin, bbox.ymin], [bbox.xmax, bbox.ymax],
+                          size=(window + cycles * batch, 2))
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5, dtype=dtype)
+        acc.add(pts[:window])
+        lo = 0
+        for c in range(cycles):
+            hi = window + c * batch
+            acc.add(pts[hi:hi + batch])
+            acc.remove(pts[lo:lo + batch])
+            lo += batch
+        live = pts[lo:window + cycles * batch]
+        return acc, live
+
+    def test_f64_drift_within_published_tolerance(self, bbox):
+        acc, live = self._churn(bbox, np.float64, cycles=2000)
+        assert acc.n_points == live.shape[0]
+        fresh = KDVAccumulator(bbox, self.SIZE, 1.5).add(live)
+        diff = np.abs(acc.surface(0) - fresh.surface(0)).max()
+        assert diff <= acc.drift_tolerance
+        # The bound is meaningful, not vacuous: it certifies real digits.
+        assert acc.drift_tolerance < 1e-6 * max(fresh.surface(0).max(), 1.0)
+
+    def test_f32_drift_within_published_tolerance(self, bbox):
+        acc, live = self._churn(bbox, np.float32, cycles=2000)
+        fresh = KDVAccumulator(bbox, self.SIZE, 1.5, dtype=np.float32).add(live)
+        diff = np.abs(
+            acc.surface(0).astype(np.float64)
+            - fresh.surface(0).astype(np.float64)
+        ).max()
+        assert diff <= acc.drift_tolerance
+
+    def test_gross_net_accounting(self, bbox, small_points):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5)
+        n = small_points.shape[0]
+        acc.add(small_points)
+        assert acc.gross_weight == pytest.approx(n)
+        assert acc.net_weight == pytest.approx(n)
+        assert acc.drift_ratio == pytest.approx(n / max(n, 1.0))
+        acc.remove(small_points[: n // 2])
+        assert acc.gross_weight == pytest.approx(n + n // 2)
+        assert acc.net_weight == pytest.approx(n - n // 2)
+        assert acc.drift_ratio > 1.0
+
+    def test_reset_clears_all_state(self, bbox, small_points):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5)
+        acc.add(small_points).remove(small_points[:3])
+        acc.reset()
+        assert acc.n_points == 0
+        assert acc.gross_weight == 0.0
+        assert acc.net_weight == 0.0
+        assert acc.drift_ratio == 0.0
+        assert np.all(acc.surface(0) == 0.0)
+
+    def test_rescatter_restarts_drift_clock(self, bbox):
+        acc, live = self._churn(bbox, np.float64, cycles=200)
+        assert acc.drift_ratio > 2.0
+        tol_before = acc.drift_tolerance
+        acc.rescatter(live, np.ones((live.shape[0], 1)))
+        assert acc.n_points == live.shape[0]
+        assert acc.drift_ratio == pytest.approx(1.0)
+        assert acc.drift_tolerance < tol_before
+        fresh = KDVAccumulator(bbox, self.SIZE, 1.5).add(live)
+        np.testing.assert_array_equal(acc.surface(0), fresh.surface(0))
+
+    def test_rescatter_validates_weights(self, bbox, small_points):
+        acc = KDVAccumulator(bbox, self.SIZE, 1.5)
+        with pytest.raises(DataError, match="weights"):
+            acc.rescatter(small_points, np.ones((small_points.shape[0], 2)))
+        with pytest.raises(DataError, match="non-finite"):
+            acc.rescatter(small_points,
+                          np.full((small_points.shape[0], 1), np.inf))
+
+    def test_f32_tolerance_includes_table_term(self, bbox):
+        f64 = KDVAccumulator(bbox, self.SIZE, 1.5)
+        f32 = KDVAccumulator(bbox, self.SIZE, 1.5, dtype=np.float32)
+        pts = np.full((10, 2), 5.0)
+        f64.add(pts)
+        f32.add(pts)
+        assert f32.drift_tolerance > f64.drift_tolerance
+
+
 class TestContours:
     @pytest.fixture()
     def cone_grid(self):
