@@ -1,0 +1,118 @@
+"""Serve smoke: boot the analytics server in-process and drive it over HTTP.
+
+The CI exercise for :mod:`repro.serve` — everything a dashboard client
+does, against a real socket on an ephemeral port:
+
+1. boot ``create_server`` on ``127.0.0.1:0`` in a daemon thread,
+2. fetch a KDV tile as JSON and as a PPM image (and again, asserting the
+   second fetch is a cache hit),
+3. run a hotspot query through ``POST /v1/query``,
+4. stream an ingest batch and assert the dirty tile was invalidated
+   while the rest of the lattice stayed warm,
+5. read ``/stats`` and print the serving counters,
+6. shut the server down cleanly.
+
+Usage::
+
+    PYTHONPATH=src python examples/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import repro
+from repro.serve import AnalyticsService, ServeConfig, create_server
+
+
+def get_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10.0) as resp:
+        return json.loads(resp.read())
+
+
+def post_json(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> None:
+    data = repro.data.chicago_crime(2000, seed=3)
+    bandwidth = 0.05 * data.bbox.diagonal
+
+    service = AnalyticsService(config=ServeConfig(tile_px=32, max_zoom=3))
+    service.create_dataset("crime", data.points, bbox=data.bbox)
+
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    print(f"serving {data.name} (n={data.n}) at {base}")
+
+    try:
+        health = get_json(base, "/healthz")
+        assert health["ok"] is True
+
+        # A tile, twice: the second fetch must be served from the cache.
+        tile_path = f"/v1/tile/crime/1/0/0.json?bandwidth={bandwidth:g}"
+        tile = get_json(base, tile_path)
+        assert len(tile["values"]) == 32 and len(tile["values"][0]) == 32
+        again = get_json(base, tile_path)
+        assert again["values"] == tile["values"]
+        stats = get_json(base, "/stats")
+        assert stats["counters"]["tile.cache_hit"] >= 1
+        print(f"tile fetched twice: cache hits = "
+              f"{stats['counters']['tile.cache_hit']}")
+
+        # The same tile as a PPM image.
+        ppm_path = f"/v1/tile/crime/1/0/0.ppm?bandwidth={bandwidth:g}"
+        with urllib.request.urlopen(base + ppm_path, timeout=10.0) as resp:
+            body = resp.read()
+        assert body.startswith(b"P6\n32 32\n255\n")
+        print(f"ppm tile: {len(body)} bytes")
+
+        # An analytics query through the unified request surface.
+        hotspot = post_json(base, "/v1/query", {
+            "kind": "hotspot", "dataset": "crime",
+            "size": [64, 64], "n_simulations": 9, "seed": 1,
+        })
+        assert hotspot["kind"] == "hotspot"
+        print(f"hotspot query: {len(hotspot['hotspots'])} hotspots, "
+              f"bandwidth={hotspot['bandwidth']:.3f} "
+              f"({hotspot['bandwidth_source']})")
+
+        # Streamed ingest: only the dirty corner of the lattice is evicted.
+        cx = data.bbox.xmin + 0.1 * data.bbox.width
+        cy = data.bbox.ymin + 0.1 * data.bbox.height
+        report = post_json(base, "/v1/ingest/crime", {
+            "points": [[cx, cy]] * 10,
+        })
+        assert report["added"] == 10
+        assert report["invalidated_tiles"] >= 1
+        print(f"ingest: {report['added']} events, "
+              f"{report['invalidated_tiles']} tile(s) invalidated, "
+              f"dataset version {report['version']}")
+
+        fresh = get_json(base, tile_path)
+        assert fresh["version"] == report["version"]
+
+        stats = get_json(base, "/stats")
+        print(f"final stats: requests={stats['counters']['requests.total']}, "
+              f"hit rate={stats['tile_cache_hit_rate']:.2f}, "
+              f"coalesced={stats['coalesced_total']}")
+        print("serve smoke OK")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -534,3 +534,44 @@ register_deprecation(
         since="PR 9 (streaming engine)",
     )
 )
+
+# The positional per-method KDV entry points (kde_gridcut(problem, tail,
+# dtype) and friends) are superseded by the unified keyword surface of
+# kde_grid(method=...) / KDVRequest — one signature the planner, the
+# request layer and the server all share.  Registered under their
+# *package-surface* qualnames: the dispatcher and the ST sweeps reach
+# the implementations through their defining modules (the sanctioned
+# internal path), while any new code importing them from the public
+# ``repro.core.kdv`` surface is flagged toward kde_grid.
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.kdv.kde_gridcut",
+        replacement="repro.core.kdv.kde_grid(method='gridcut')",
+        since="PR 10 (analytics service layer)",
+    )
+)
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.kdv.kde_naive",
+        replacement="repro.core.kdv.kde_grid(method='naive')",
+        since="PR 10 (analytics service layer)",
+    )
+)
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.kdv.kde_parallel",
+        replacement="repro.core.kdv.kde_grid(method='parallel')",
+        since="PR 10 (analytics service layer)",
+    )
+)
+register_deprecation(
+    Deprecation(
+        kind="function",
+        qualname="repro.core.kdv.kde_sweep",
+        replacement="repro.core.kdv.kde_grid(method='sweep')",
+        since="PR 10 (analytics service layer)",
+    )
+)

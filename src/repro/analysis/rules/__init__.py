@@ -16,6 +16,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     kernel_contracts,
     parallel_discipline,
     purity_contracts,
+    service_boundaries,
     span_discipline,
     timing_discipline,
     validation_contracts,
@@ -30,6 +31,7 @@ __all__ = [
     "kernel_contracts",
     "parallel_discipline",
     "purity_contracts",
+    "service_boundaries",
     "span_discipline",
     "timing_discipline",
     "validation_contracts",

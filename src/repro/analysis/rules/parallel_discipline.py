@@ -7,6 +7,13 @@ Monte-Carlo reductions bit-identical for every worker count.  A module
 that imports :mod:`concurrent.futures` or :mod:`multiprocessing` directly
 bypasses all three guarantees, so reprolint flags the import and points
 the author at the shared layer instead.
+
+One carve-out: :mod:`repro.serve` may import :mod:`threading` for its
+*synchronisation* primitives (locks, events, the admission semaphore, the
+HTTP server's connection threads) — that is coordination state, not a
+compute pool, and the determinism contract does not apply to it.  Compute
+fan-out inside the server still goes through :mod:`repro.parallel`;
+``concurrent.futures``/``multiprocessing`` stay forbidden there too.
 """
 
 from __future__ import annotations
@@ -26,6 +33,10 @@ _POOL_MODULES = frozenset({"concurrent", "multiprocessing", "threading"})
 #: The one module allowed to own pool machinery (project-relative POSIX).
 _EXECUTOR_PATH = "src/repro/parallel.py"
 
+#: Package allowed to import :mod:`threading` for synchronisation (locks,
+#: events, semaphores) — never for compute pools.
+_SYNC_PACKAGE = "src/repro/serve/"
+
 
 def _root_module(dotted: str) -> str:
     """First component of a dotted module path (``concurrent.futures`` →
@@ -39,6 +50,7 @@ class SharedExecutorRule(Rule):
 
     rule_id = "RPR009"
     name = "shared-executor"
+    version = 2  # v2: repro.serve may import threading (sync primitives)
     summary = (
         "thread/process pools bypass the shared executor; route the work "
         "through repro.parallel so worker-count determinism holds"
@@ -46,13 +58,17 @@ class SharedExecutorRule(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         """Flag concurrent.futures/multiprocessing/threading imports."""
-        if ctx.path.replace("\\", "/").endswith(_EXECUTOR_PATH):
+        path = ctx.path.replace("\\", "/")
+        if path.endswith(_EXECUTOR_PATH):
             return
+        allowed = (
+            frozenset({"threading"}) if _SYNC_PACKAGE in path else frozenset()
+        )
         for node in ctx.walk():
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     root = _root_module(alias.name)
-                    if root in _POOL_MODULES:
+                    if root in _POOL_MODULES and root not in allowed:
                         yield self.violation(
                             ctx,
                             node,
@@ -63,7 +79,7 @@ class SharedExecutorRule(Rule):
             elif isinstance(node, ast.ImportFrom):
                 if node.level == 0 and node.module is not None:
                     root = _root_module(node.module)
-                    if root in _POOL_MODULES:
+                    if root in _POOL_MODULES and root not in allowed:
                         yield self.violation(
                             ctx,
                             node,

@@ -1,0 +1,96 @@
+"""RPR016 — network transport lives only inside :mod:`repro.serve`.
+
+The service layer is the library's one network boundary: it owns the
+HTTP front-end, the error → status mapping, request admission, caching
+and coalescing.  An analytics module that imports :mod:`http`,
+:mod:`socket` or friends directly grows a second, unaudited server (or
+worse, makes a numeric routine secretly phone out), bypassing all of
+that policy — so reprolint flags transport imports anywhere outside
+``src/repro/serve/`` and points the author at the service layer.
+
+``urllib.parse`` is deliberately *not* flagged: URL string parsing is
+pure computation.  ``urllib.request``/``urllib.error`` (actual network
+clients) are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Rule, register
+from ..violations import Violation
+
+__all__ = ["ServiceBoundaryRule"]
+
+#: Transport modules owned by the service layer.  Keys are matched
+#: against the imported dotted path: a top-level name forbids the whole
+#: tree (``http`` covers ``http.server``); dotted entries forbid one
+#: subtree only (``urllib.request`` leaves ``urllib.parse`` alone).
+_TRANSPORT_MODULES = frozenset(
+    {"http", "socket", "socketserver", "ssl", "wsgiref",
+     "urllib.request", "urllib.error", "xmlrpc", "ftplib", "smtplib"}
+)
+
+#: The package allowed to own transport machinery (project-relative POSIX).
+_SERVE_PACKAGE = "src/repro/serve/"
+
+
+def _forbidden(dotted: str) -> str | None:
+    """The matched forbidden entry for a dotted module path, if any."""
+    parts = dotted.split(".")
+    for depth in range(1, len(parts) + 1):
+        prefix = ".".join(parts[:depth])
+        if prefix in _TRANSPORT_MODULES:
+            return prefix
+    return None
+
+
+@register
+class ServiceBoundaryRule(Rule):
+    """Socket/HTTP imports happen only inside :mod:`repro.serve`."""
+
+    rule_id = "RPR016"
+    name = "service-boundary"
+    summary = (
+        "network transport imports outside repro.serve bypass the service "
+        "layer's admission, caching and error mapping; route serving "
+        "through repro.serve"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Flag http/socket/urllib.request imports outside the serve package."""
+        if _SERVE_PACKAGE in ctx.path.replace("\\", "/"):
+            return
+        for node in ctx.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    match = _forbidden(alias.name)
+                    if match is not None:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"transport import {alias.name!r} outside "
+                            "repro.serve; the service layer owns the "
+                            "network boundary",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None:
+                    dotted = node.module
+                    match = _forbidden(dotted)
+                    if match is None:
+                        # "from urllib import request" names the subtree
+                        # in the alias, not the module — check those too.
+                        for alias in node.names:
+                            if _forbidden(f"{dotted}.{alias.name}") is not None:
+                                match = f"{dotted}.{alias.name}"
+                                break
+                    if match is not None:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"transport import from {match!r} outside "
+                            "repro.serve; the service layer owns the "
+                            "network boundary",
+                        )

@@ -256,6 +256,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor backend (default: REPRO_BACKEND)",
     )
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the analytics HTTP server (tiles, queries, ingest, stats)",
+        parents=[trace_parent],
+    )
+    srv.add_argument(
+        "input", nargs="?", default=None,
+        help="optional CSV of x,y[,t] events preloaded as dataset "
+             "--name; omitted = synthetic crime dataset of --events points",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8731,
+                     help="bind port; 0 = ephemeral (default 8731)")
+    srv.add_argument("--name", default="demo",
+                     help="name of the preloaded dataset (default demo)")
+    srv.add_argument(
+        "--events", type=_positive_int, default=4000,
+        help="size of the synthetic dataset (ignored with an input CSV)",
+    )
+    srv.add_argument("--seed", type=int, default=0,
+                     help="seed of the synthetic dataset")
+    srv.add_argument(
+        "--tile-px", type=_positive_int, default=64,
+        help="tile side length in pixels (default 64)",
+    )
+    srv.add_argument(
+        "--max-zoom", type=int, default=4,
+        help="deepest pyramid level served (default 4)",
+    )
+    srv.add_argument(
+        "--tile-cache", type=_positive_int, default=512,
+        help="tile cache capacity in entries (default 512)",
+    )
+    srv.add_argument(
+        "--result-cache", type=_positive_int, default=128,
+        help="query-result cache capacity in entries (default 128)",
+    )
+    srv.add_argument(
+        "--max-inflight", type=_positive_int, default=None,
+        help="bound on concurrently executing requests "
+             "(default: 2x the resolved worker count)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for surface maintenance (default: REPRO_WORKERS)",
+    )
+    srv.add_argument(
+        "--backend", default=None, choices=["serial", "thread", "process"],
+        help="executor backend (default: REPRO_BACKEND)",
+    )
+
     return parser
 
 
@@ -490,6 +542,48 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import AnalyticsService, ServeConfig, create_server
+
+    service = AnalyticsService(config=ServeConfig(
+        tile_px=args.tile_px,
+        max_zoom=args.max_zoom,
+        tile_cache_capacity=args.tile_cache,
+        result_cache_capacity=args.result_cache,
+        max_inflight=args.max_inflight,
+        workers=args.workers,
+        backend=args.backend,
+    ))
+    if args.input:
+        ds = read_dataset_csv(args.input, margin=0.05)
+        times = (
+            ds.times if isinstance(ds, SpatioTemporalDataset) else None
+        )
+        service.create_dataset(args.name, ds.points, times=times,
+                               bbox=ds.bbox)
+        source = args.input
+    else:
+        ds = data_mod.chicago_crime(args.events, seed=args.seed)
+        service.create_dataset(args.name, ds.points)
+        source = f"synthetic crime (n={ds.n}, seed={args.seed})"
+
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    bandwidth = 0.05 * service.store.get(args.name).bbox.diagonal
+    print(f"serving dataset {args.name!r} from {source}")
+    print(f"listening on http://{host}:{port}")
+    print(f"  tiles:  GET /v1/tile/{args.name}/0/0/0.json?bandwidth={bandwidth:g}")
+    print(f"  stats:  GET /stats")
+    print(f"  query:  POST /v1/query   ingest: POST /v1/ingest/{args.name}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "kdv": _cmd_kdv,
@@ -498,6 +592,7 @@ _COMMANDS = {
     "csrtest": _cmd_csrtest,
     "stkdv": _cmd_stkdv,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
 }
 
 

@@ -12,6 +12,13 @@ Subpackages / modules:
 * :mod:`repro.core.autocorrelation` — Moran's I and Getis-Ord
 * :mod:`repro.core.clustering` — DBSCAN and hotspot extraction
 * :mod:`repro.core.pipeline` — the end-to-end hotspot workflow
+* :mod:`repro.core.request` — unified Request/Plan/Execute API
+
+The blessed serving surface — what :mod:`repro.serve` dispatches and what
+new callers should reach for — is re-exported here: :func:`kde_grid`,
+:func:`k_function_plot`, :class:`HotspotAnalysis`, and the request layer
+(:class:`AnalyticsRequest` family, :func:`plan_request`,
+:func:`execute_request`).
 """
 
 from . import (
@@ -24,14 +31,38 @@ from . import (
     scatter,
 )
 from .csr_tests import ClarkEvansResult, QuadratTestResult, clark_evans, quadrat_test
+from .kdv import kde_grid
 from .kernels import KERNELS, Kernel, get_kernel
+from .kfunction import k_function_plot
 from .nkdv import NKDVResult, nkdv
 from .pipeline import HotspotAnalysis, HotspotReport
 from .rates import empirical_bayes, spatial_empirical_bayes
+from .request import (
+    AnalyticsRequest,
+    HotspotRequest,
+    KDVRequest,
+    KFunctionRequest,
+    REQUEST_KINDS,
+    RequestPlan,
+    execute_request,
+    plan_request,
+    request_from_dict,
+)
 from .stkdv import STKDVResult, stkdv
 from .stnkdv import STNKDVResult, stnkdv
 
 __all__ = [
+    "AnalyticsRequest",
+    "HotspotRequest",
+    "KDVRequest",
+    "KFunctionRequest",
+    "REQUEST_KINDS",
+    "RequestPlan",
+    "execute_request",
+    "k_function_plot",
+    "kde_grid",
+    "plan_request",
+    "request_from_dict",
     "ClarkEvansResult",
     "HotspotAnalysis",
     "QuadratTestResult",

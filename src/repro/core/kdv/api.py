@@ -199,6 +199,27 @@ def kde_grid(
     return grid
 
 
+def _kde_grid_from_request(points, request, bbox=None, weights=None) -> DensityGrid:
+    """Run a :class:`~repro.core.request.KDVRequest` on a point set.
+
+    The request-object twin of the kwarg signature (``kde_grid.from_request``):
+    ``request.bbox`` wins when set, else the caller's ``bbox``.  Dispatches
+    through :func:`~repro.core.request.execute_request`, so the resolved
+    :class:`~repro.core.request.RequestPlan` lands on the trace.
+    """
+    from ..request import KDVRequest, execute_request
+
+    if not isinstance(request, KDVRequest):
+        raise ParameterError(
+            f"kde_grid.from_request needs a KDVRequest, got "
+            f"{type(request).__name__}"
+        )
+    return execute_request(request, points, bbox=bbox, weights=weights)
+
+
+kde_grid.from_request = _kde_grid_from_request
+
+
 def _dispatch(
     problem: KDVProblem,
     method: str,

@@ -253,3 +253,23 @@ def k_function_plot(
         n_simulations=n_simulations,
         diagnostics=trace.diagnostics,
     )
+
+
+def _k_function_plot_from_request(points, request, bbox=None) -> KFunctionPlot:
+    """Run a :class:`~repro.core.request.KFunctionRequest` on a point set.
+
+    The request-object twin of the kwarg signature
+    (``k_function_plot.from_request``); thresholds default to the
+    request's ladder over the resolved window.
+    """
+    from ..request import KFunctionRequest, execute_request
+
+    if not isinstance(request, KFunctionRequest):
+        raise ParameterError(
+            f"k_function_plot.from_request needs a KFunctionRequest, got "
+            f"{type(request).__name__}"
+        )
+    return execute_request(request, points, bbox=bbox)
+
+
+k_function_plot.from_request = _k_function_plot_from_request

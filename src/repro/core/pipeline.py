@@ -80,6 +80,36 @@ class HotspotAnalysis:
         self.bbox = bbox
         self.kernel = kernel
 
+    @classmethod
+    def from_request(cls, points, request, bbox: BoundingBox | None = None
+                     ) -> "HotspotAnalysis":
+        """Configure an analysis from a :class:`~repro.core.request.HotspotRequest`.
+
+        ``bbox`` supplies the study window (requests reference datasets,
+        not geometry).  Pair with :meth:`run_request` to execute::
+
+            HotspotAnalysis.from_request(pts, req, bbox).run_request(req)
+        """
+        from .request import HotspotRequest
+
+        if not isinstance(request, HotspotRequest):
+            raise ParameterError(
+                f"HotspotAnalysis.from_request needs a HotspotRequest, got "
+                f"{type(request).__name__}"
+            )
+        return cls(points, request.resolve_bbox(bbox), kernel=request.kernel)
+
+    def run_request(self, request) -> HotspotReport:
+        """Execute :meth:`run` with a request's parameters (kwargs unchanged)."""
+        from .request import HotspotRequest
+
+        if not isinstance(request, HotspotRequest):
+            raise ParameterError(
+                f"run_request needs a HotspotRequest, got "
+                f"{type(request).__name__}"
+            )
+        return self.run(**request.kwargs())
+
     def default_thresholds(self, count: int = 12) -> np.ndarray:
         """Threshold ladder up to a quarter of the window diagonal."""
         count = int(count)

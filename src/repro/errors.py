@@ -14,6 +14,7 @@ __all__ = [
     "NetworkError",
     "ConvergenceError",
     "AnalysisError",
+    "ServeError",
 ]
 
 
@@ -47,6 +48,16 @@ class ConvergenceError(ReproError, RuntimeError):
 
     Raised by variogram model fitting and by the bound-based KDV refinement
     when it cannot reach the requested guarantee with the given resources.
+    """
+
+
+class ServeError(ReproError, LookupError):
+    """A service-layer request referenced something that does not exist.
+
+    Raised by :mod:`repro.serve` for an unknown dataset or an
+    out-of-range tile address — the conditions the HTTP front-end maps
+    to a 404, as opposed to :class:`ParameterError`/:class:`DataError`
+    (malformed requests, mapped to a 400).
     """
 
 

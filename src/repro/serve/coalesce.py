@@ -1,0 +1,92 @@
+"""Request coalescing: identical concurrent queries compute once.
+
+The serving pattern the paper's workload motivates: when a popular
+dashboard refreshes, hundreds of clients ask for the *same* tile in the
+same instant.  Caching alone does not help the stampede — every miss
+arrives before the first computation finishes.  The coalescer closes
+that gap: the first caller for a key becomes the **leader** and
+computes; every concurrent caller with the same canonical fingerprint
+becomes a **follower**, blocks on the leader's completion event, and
+receives the identical result object (or the leader's exception).
+
+Keys are the canonical request fingerprints of
+:meth:`repro.core.request.AnalyticsRequest.fingerprint` (plus dataset
+content version), so "identical" means semantically identical, not
+merely textually identical payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable
+
+__all__ = ["Coalescer"]
+
+_PENDING = object()
+
+
+class _Flight:
+    """One in-flight computation: completion event plus its outcome."""
+
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result = _PENDING
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class Coalescer:
+    """In-flight map collapsing concurrent identical computations into one."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+        self.coalesced = 0   # lifetime follower count
+        self.executions = 0  # lifetime leader count
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def run(self, key: Hashable, compute: Callable[[], object]
+            ) -> tuple[object, bool]:
+        """Compute-or-join: returns ``(result, led)``.
+
+        ``led`` is ``True`` for the caller that actually executed
+        ``compute`` and ``False`` for every coalesced follower.  A
+        leader's exception propagates to the leader *and* to every
+        follower of that flight; the flight is retired either way, so
+        the next arrival after completion starts a fresh computation
+        (important when the failure was transient).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                lead = True
+                self.executions += 1
+            else:
+                lead = False
+                flight.followers += 1
+                self.coalesced += 1
+        if not lead:
+            flight.done.wait()
+            if flight.error is not None:
+                # Followers re-raise the leader's exception object verbatim
+                # (already a repro.errors type when the library raised it).
+                raise flight.error  # reprolint: disable=RPR002
+            return flight.result, False
+        try:
+            flight.result = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.result, True

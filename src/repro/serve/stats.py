@@ -1,0 +1,123 @@
+"""Thread-safe service metrics: counters, gauges and latency percentiles.
+
+The ``/stats`` endpoint's substrate.  Counters are monotonic (requests,
+cache hits, coalesced waiters, executions); gauges are last-write floats
+(queue depth); latencies keep a fixed-size ring of recent observations
+per endpoint, from which p50/p95 are computed on demand — a bounded-
+memory approximation that tracks the current traffic mix rather than
+lifetime history, which is what an operator watching a server wants.
+
+All timing flows through :class:`repro.obs.Stopwatch` (the library's one
+sanctioned ``perf_counter`` user, reprolint RPR010).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["LatencyRing", "ServeStats"]
+
+
+class LatencyRing:
+    """Fixed-capacity ring buffer of recent latencies (seconds)."""
+
+    def __init__(self, capacity: int = 1024):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ParameterError(
+                f"latency ring capacity must be positive, got {capacity}"
+            )
+        self._buf = np.zeros(capacity, dtype=np.float64)
+        self._idx = 0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (caller holds the stats lock)."""
+        self._buf[self._idx] = seconds
+        self._idx = (self._idx + 1) % self._buf.shape[0]
+        self.count += 1
+
+    def percentiles(self, qs=(50.0, 95.0)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ...}`` in milliseconds over the live window."""
+        live = min(self.count, self._buf.shape[0])
+        if live == 0:
+            return {f"p{q:g}": 0.0 for q in qs}
+        window = self._buf[:live]
+        values = np.percentile(window, qs)
+        return {f"p{q:g}": float(v) * 1e3 for q, v in zip(qs, values)}
+
+
+class ServeStats:
+    """One server's metrics: named counters, gauges and per-endpoint latency.
+
+    Every method is safe to call from any handler thread; reads
+    (:meth:`snapshot`) see a consistent point-in-time view.
+    """
+
+    def __init__(self, latency_window: int = 1024):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._latency: dict[str, LatencyRing] = {}
+        self._latency_window = int(latency_window)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def adjust_gauge(self, name: str, delta: float) -> float:
+        """Add ``delta`` to a gauge and return the new value (atomic)."""
+        with self._lock:
+            value = self._gauges.get(name, 0.0) + float(delta)
+            self._gauges[name] = value
+            return value
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        """Record one request latency under ``endpoint``."""
+        with self._lock:
+            ring = self._latency.get(endpoint)
+            if ring is None:
+                ring = self._latency[endpoint] = LatencyRing(
+                    self._latency_window
+                )
+            ring.observe(seconds)
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Current value of one counter."""
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def snapshot(self) -> dict:
+        """Point-in-time JSON-safe view: counters, gauges, latency percentiles.
+
+        Derived ratios the issue's operators actually watch — tile-cache
+        hit rate and coalesce rate — are computed here so every client of
+        ``/stats`` sees the same arithmetic.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            latency = {
+                name: {"count": ring.count, **ring.percentiles()}
+                for name, ring in self._latency.items()
+            }
+        hits = counters.get("tile.cache_hit", 0)
+        misses = counters.get("tile.cache_miss", 0)
+        lookups = hits + misses
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "latency_ms": latency,
+            "tile_cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "coalesced_total": counters.get("coalesce.waited", 0),
+        }

@@ -85,6 +85,24 @@ class DirtyTileLedger:
         self._dirty[:] = False
         return out
 
+    def dirty_tiles(self) -> tuple[tuple[int, int], ...]:
+        """The currently dirty tiles as sorted ``(tx, ty)`` ids.
+
+        The public accessor contract for consumers that invalidate by
+        tile (the :mod:`repro.serve` tile cache, external renderers):
+        read the dirty set here, repaint/evict those tiles, then call
+        :meth:`clear_dirty` — no reaching into snapshot diagnostics
+        dicts.  Does **not** clear the ledger (pair with
+        :meth:`clear_dirty`, or use :meth:`take` for mask-and-clear in
+        one step).
+        """
+        tx, ty = np.nonzero(self._dirty)
+        return tuple(zip(tx.tolist(), ty.tolist()))
+
+    def clear_dirty(self) -> None:
+        """Clear every dirty flag (the partner of :meth:`dirty_tiles`)."""
+        self._dirty[:] = False
+
     def clear(self) -> None:
         """Clear every dirty flag."""
         self._dirty[:] = False

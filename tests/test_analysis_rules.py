@@ -329,6 +329,49 @@ class TestRPR009SharedExecutor:
         src = "from ..parallel import parallel_map\n"
         assert "RPR009" not in ids_of(analyze_source(src))
 
+    def test_serve_may_import_threading(self):
+        # The service layer's sync primitives are a sanctioned carve-out.
+        src = "import threading\n__all__ = []\n"
+        found = analyze_source(src, path="src/repro/serve/service.py")
+        assert "RPR009" not in ids_of(found)
+
+    def test_serve_still_cannot_import_futures(self):
+        # The carve-out covers synchronisation only, never compute pools.
+        src = "from concurrent.futures import ThreadPoolExecutor\n"
+        found = analyze_source(src, path="src/repro/serve/service.py")
+        assert "RPR009" in ids_of(found)
+
+
+class TestRPR016ServiceBoundary:
+    def test_flags_http_import_outside_serve(self):
+        src = "from http.server import ThreadingHTTPServer\n"
+        found = [v for v in analyze_source(src) if v.rule_id == "RPR016"]
+        assert len(found) == 1
+        assert "repro.serve" in found[0].message
+
+    def test_flags_socket_import(self):
+        src = "import socket\n"
+        assert "RPR016" in ids_of(analyze_source(src))
+
+    def test_flags_urllib_request_import(self):
+        src = "import urllib.request\n"
+        assert "RPR016" in ids_of(analyze_source(src))
+
+    def test_flags_from_urllib_import_request(self):
+        # The subtree named by the alias, not the module, is still caught.
+        src = "from urllib import request\n"
+        assert "RPR016" in ids_of(analyze_source(src))
+
+    def test_urllib_parse_is_clean(self):
+        # URL string parsing is pure computation, not transport.
+        src = "from urllib.parse import urlsplit\n__all__ = []\n"
+        assert "RPR016" not in ids_of(analyze_source(src))
+
+    def test_serve_package_is_exempt(self):
+        src = "from http.server import BaseHTTPRequestHandler\nimport socket\n"
+        found = analyze_source(src, path="src/repro/serve/frontend.py")
+        assert "RPR016" not in ids_of(found)
+
 
 class TestRPR010TimingDiscipline:
     def test_flags_perf_counter_call(self):
